@@ -1,0 +1,183 @@
+// Package repro's benchmarks regenerate every table and figure of the paper
+// at a reduced (benchmark-friendly) scale, reporting the headline quantities
+// as custom metrics so `go test -bench=. -benchmem` doubles as a quick
+// reproduction pass. cmd/verus-bench runs the same harnesses at the paper's
+// full scale.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func quickMacro() experiments.MacroOptions {
+	o := experiments.QuickMacroOptions()
+	o.Duration = 30 * time.Second
+	return o
+}
+
+func quickMicro() experiments.MicroOptions {
+	o := experiments.QuickMicroOptions()
+	o.Duration = 60 * time.Second
+	return o
+}
+
+// BenchmarkFigure1 regenerates the LTE burst-arrival scatter (paper Fig. 1).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(int64(i + 1))
+		b.ReportMetric(float64(r.Bursts), "bursts")
+	}
+}
+
+// BenchmarkFigure2 regenerates the burst-size/inter-arrival PDFs (Fig. 2).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2(30*time.Second, int64(i+1))
+		b.ReportMetric(r.MeanBurstBytes[0], "3G-burst-B")
+		b.ReportMetric(r.MeanBurstBytes[2], "LTE-burst-B")
+	}
+}
+
+// BenchmarkFigure3 regenerates the competing-traffic delay bars (Fig. 3).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(int64(i + 1))
+		b.ReportMetric(r.DelayOnMs[2], "on-delay-ms")
+		b.ReportMetric(r.DelayOffMs[2], "off-delay-ms")
+	}
+}
+
+// BenchmarkFigure4 regenerates the windowed-throughput views (Fig. 4).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(int64(i + 1))
+		b.ReportMetric(r.CV20, "cv-20ms")
+		b.ReportMetric(r.CV100, "cv-100ms")
+	}
+}
+
+// BenchmarkPredictorStudy regenerates the §3 unpredictability result.
+func BenchmarkPredictorStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PredictorStudy(int64(i + 1))
+		b.ReportMetric(r.Results[1].NRMSE, "linear-nrmse")
+	}
+}
+
+// BenchmarkFigure5 regenerates an example delay profile (Fig. 5).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5(int64(i + 1))
+		b.ReportMetric(float64(len(r.Windows)), "profile-points")
+	}
+}
+
+// BenchmarkFigure7 regenerates the delay-profile evolution (Fig. 7).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7(60*time.Second, int64(i+1))
+		b.ReportMetric(float64(len(r.Curves)), "snapshots")
+	}
+}
+
+// BenchmarkFigure8 regenerates the 3G/LTE macro comparison (Fig. 8).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8(quickMacro())
+		b.ReportMetric(r.Points[0][2].Mbps, "verus-3g-mbps")
+		b.ReportMetric(r.Points[0][2].DelaySec*1000, "verus-3g-delay-ms")
+		b.ReportMetric(r.Points[0][0].DelaySec*1000, "cubic-3g-delay-ms")
+	}
+}
+
+// BenchmarkFigure9 regenerates the Verus R sweep (Fig. 9).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(quickMacro())
+		b.ReportMetric(r.Points[0][0].DelaySec*1000, "R2-delay-ms")
+		b.ReportMetric(r.Points[0][2].DelaySec*1000, "R6-delay-ms")
+	}
+}
+
+// BenchmarkFigure10 regenerates the trace-driven contention scatter (Fig. 10).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10(quickMacro())
+		b.ReportMetric(r.Summary[0][2].DelaySec*1000, "verusR2-delay-ms")
+		b.ReportMetric(r.Summary[0][0].DelaySec*1000, "cubic-delay-ms")
+	}
+}
+
+// BenchmarkTable1 regenerates the Jain fairness table (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := quickMacro()
+		o.Reps = 2
+		r := experiments.Table1(o)
+		b.ReportMetric(r.Index[4][2]*100, "verus-20u-jain-pct")
+	}
+}
+
+// BenchmarkFigure11ScenarioI regenerates the 10-100 Mbps comparison (Fig. 11a).
+func BenchmarkFigure11ScenarioI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure11(quickMicro(), false)
+		b.ReportMetric(r.MeanMbps[0], "verus-mbps")
+		b.ReportMetric(r.MeanMbps[3], "sprout-mbps")
+	}
+}
+
+// BenchmarkFigure11ScenarioII regenerates the 2-20 Mbps Verus/Sprout duel
+// (Fig. 11b).
+func BenchmarkFigure11ScenarioII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure11(quickMicro(), true)
+		b.ReportMetric(r.MeanMbps[0], "verus-mbps")
+		b.ReportMetric(r.MeanMbps[1], "sprout-mbps")
+	}
+}
+
+// BenchmarkFigure12 regenerates the newly-arriving-flows run (Fig. 12).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure12(quickMicro())
+		b.ReportMetric(r.JainAllActive, "jain")
+	}
+}
+
+// BenchmarkFigure13 regenerates the mixed-RTT fairness run (Fig. 13).
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure13(quickMicro())
+		b.ReportMetric(r.MaxMinRatio, "maxmin-ratio")
+	}
+}
+
+// BenchmarkFigure14 regenerates the Verus-vs-Cubic coexistence run (Fig. 14).
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure14(quickMicro())
+		b.ReportMetric(r.ShareVerus, "verus-share")
+	}
+}
+
+// BenchmarkFigure15 regenerates the static-vs-updating profile ablation
+// (Fig. 15).
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure15(quickMicro())
+		b.ReportMetric(r.UpdatingMbps[0], "updating-mbps")
+		b.ReportMetric(r.StaticMbps[0], "static-mbps")
+	}
+}
+
+// BenchmarkSensitivity regenerates the §5.3 parameter study.
+func BenchmarkSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Sensitivity(20*time.Second, int64(i+1))
+		b.ReportMetric(float64(len(r.Rows)), "rows")
+	}
+}

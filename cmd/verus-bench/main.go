@@ -1,0 +1,97 @@
+// Command verus-bench regenerates every table and figure of the Verus paper
+// (Zaki et al., SIGCOMM 2015) and prints the same rows/series the paper
+// reports. Use -quick for a reduced-scale pass (seconds per experiment) or
+// the default full scale (the paper's durations; minutes in total).
+//
+// Usage:
+//
+//	verus-bench [-quick] [-only fig8,table1,...] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity)")
+	seed := flag.Int64("seed", 42, "base random seed")
+	flag.Parse()
+
+	macro := experiments.DefaultMacroOptions()
+	micro := experiments.DefaultMicroOptions()
+	fig2Dur := 5 * time.Minute
+	fig7Dur := 200 * time.Second
+	sensDur := 60 * time.Second
+	if *quick {
+		macro = experiments.QuickMacroOptions()
+		micro = experiments.QuickMicroOptions()
+		micro.Duration = 100 * time.Second
+		fig2Dur = 45 * time.Second
+		fig7Dur = 60 * time.Second
+		sensDur = 20 * time.Second
+	}
+	macro.Seed = *seed
+	micro.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	run := func(id, note string, f func() string) {
+		if !sel(id) {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s (%s) ====\n", strings.ToUpper(id), note)
+		fmt.Println(f())
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", "LTE burst arrivals", func() string { return experiments.Figure1(*seed).Render() })
+	run("fig2", "burst PDFs", func() string { return experiments.Figure2(fig2Dur, *seed).Render() })
+	run("fig3", "competing traffic", func() string { return experiments.Figure3(*seed).Render() })
+	run("fig4", "windowed throughput", func() string { return experiments.Figure4(*seed).Render() })
+	run("predictors", "§3 predictability", func() string { return experiments.PredictorStudy(*seed).Render() })
+	run("fig5", "delay profile", func() string { return experiments.Figure5(*seed).Render() })
+	run("fig7", "profile evolution", func() string { return experiments.Figure7(fig7Dur, *seed).Render() })
+	run("fig8", "macro comparison", func() string { return experiments.Figure8(macro).Render() })
+	run("fig9", "R sweep", func() string { return experiments.Figure9(macro).Render() })
+	run("fig10", "trace-driven contention", func() string { return experiments.Figure10(macro).Render() })
+	run("table1", "Jain fairness", func() string { return experiments.Table1(macro).Render() })
+	run("fig11", "rapidly changing nets", func() string {
+		return experiments.Figure11(micro, false).Render() + "\n" + experiments.Figure11(micro, true).Render()
+	})
+	run("fig12", "newly arriving flows", func() string { return experiments.Figure12(micro).Render() })
+	run("fig13", "mixed RTTs", func() string { return experiments.Figure13(micro).Render() })
+	run("fig14", "Verus vs Cubic", func() string { return experiments.Figure14(micro).Render() })
+	run("fig15", "static vs updating profile", func() string { return experiments.Figure15(micro).Render() })
+	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed).Render() })
+
+	if len(want) > 0 {
+		known := []string{"fig1", "fig2", "fig3", "fig4", "predictors", "fig5", "fig7", "fig8",
+			"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity"}
+		for id := range want {
+			found := false
+			for _, k := range known {
+				if id == k {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "verus-bench: unknown experiment %q (known: %s)\n", id, strings.Join(known, ","))
+				os.Exit(2)
+			}
+		}
+	}
+}

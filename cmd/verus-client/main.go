@@ -1,0 +1,86 @@
+// Command verus-client runs the UDP sender side of the Verus transport: a
+// full-buffer flow driven by a chosen congestion controller, reporting rate
+// and RTT while it runs.
+//
+// Usage:
+//
+//	verus-client -server 127.0.0.1:9000 -proto verus -r 2 -dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/sprout"
+	"repro/internal/tcp"
+	"repro/internal/transport"
+	"repro/internal/verus"
+)
+
+func controller(proto string, r float64) (cc.Controller, error) {
+	switch strings.ToLower(proto) {
+	case "verus":
+		cfg := verus.DefaultConfig()
+		cfg.R = r
+		return verus.New(cfg), nil
+	case "cubic":
+		return tcp.NewCubic(), nil
+	case "newreno", "reno":
+		return tcp.NewNewReno(), nil
+	case "vegas":
+		return tcp.NewVegas(), nil
+	case "sprout":
+		return sprout.New(sprout.DefaultConfig()), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", proto)
+	}
+}
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9000", "server UDP address")
+	proto := flag.String("proto", "verus", "verus|cubic|newreno|vegas|sprout")
+	r := flag.Float64("r", 2, "Verus R parameter")
+	dur := flag.Duration("dur", 30*time.Second, "transfer duration")
+	report := flag.Duration("report", 2*time.Second, "stats report interval")
+	flag.Parse()
+
+	ctrl, err := controller(*proto, *r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := transport.Dial(*server, ctrl, transport.DefaultSenderConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verus-client: %s -> %s for %v\n", ctrl.Name(), *server, *dur)
+
+	deadline := time.After(*dur)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	var lastAcked int64
+	start := time.Now()
+	for {
+		select {
+		case <-ticker.C:
+			st := s.Stats()
+			rate := float64(st.Acked-lastAcked) * 1400 * 8 / report.Seconds() / 1e6
+			lastAcked = st.Acked
+			fmt.Printf("tx: sent=%d acked=%d retx=%d loss=%d to=%d  %.2f Mbps  rtt p50=%.1fms p95=%.1fms\n",
+				st.Sent, st.Acked, st.Retransmits, st.Losses, st.Timeouts,
+				rate, st.RTT.Median()*1000, st.RTT.Percentile(95)*1000)
+		case <-deadline:
+			if err := s.Close(); err != nil {
+				log.Fatal(err)
+			}
+			st := s.Stats()
+			elapsed := time.Since(start).Seconds()
+			fmt.Printf("done: %d acked (%.2f Mbps goodput), rtt mean %.1f ms\n",
+				st.Acked, float64(st.Acked)*1400*8/elapsed/1e6, st.RTT.Mean()*1000)
+			return
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command verus-server runs the UDP receiver side of the Verus transport:
+// it accepts data packets and acknowledges each one, printing goodput
+// periodically. Pair it with verus-client.
+//
+// Usage:
+//
+//	verus-server -listen :9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9000", "UDP listen address")
+	interval := flag.Duration("report", 2*time.Second, "stats report interval")
+	flag.Parse()
+
+	r, err := transport.NewReceiver(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Printf("verus-server listening on %s\n", r.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var lastBytes int64
+	for {
+		select {
+		case <-ticker.C:
+			st := r.Stats()
+			rate := float64(st.Bytes-lastBytes) * 8 / interval.Seconds() / 1e6
+			lastBytes = st.Bytes
+			fmt.Printf("rx: %d pkts (%d unique), %.2f Mbps current, %.2f Mbps mean\n",
+				st.Packets, st.UniquePackets, rate, st.MeanMbps())
+		case <-sig:
+			st := r.Stats()
+			fmt.Printf("final: %d pkts, %d bytes, %.2f Mbps mean\n", st.Packets, st.Bytes, st.MeanMbps())
+			return
+		}
+	}
+}

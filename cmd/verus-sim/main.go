@@ -1,0 +1,101 @@
+// Command verus-sim runs one simulated scenario: N flows of a chosen
+// congestion controller over either a synthetic cellular channel or a fixed
+// link, and prints per-flow throughput/delay.
+//
+// Usage:
+//
+//	verus-sim -proto verus -flows 4 -tech 3g -scenario city-driving -dur 60s
+//	verus-sim -proto cubic -fixed 20 -dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/experiments"
+)
+
+func maker(proto string, r float64) (experiments.Maker, error) {
+	switch strings.ToLower(proto) {
+	case "verus":
+		return experiments.VerusMaker(r), nil
+	case "cubic":
+		return experiments.CubicMaker(), nil
+	case "newreno", "reno":
+		return experiments.NewRenoMaker(), nil
+	case "vegas":
+		return experiments.VegasMaker(), nil
+	case "sprout":
+		return experiments.SproutMaker(), nil
+	default:
+		return experiments.Maker{}, fmt.Errorf("unknown protocol %q (verus|cubic|newreno|vegas|sprout)", proto)
+	}
+}
+
+func scenario(name string) (cellular.Scenario, error) {
+	for _, s := range cellular.Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range cellular.Scenarios() {
+		names = append(names, s.Name)
+	}
+	return cellular.Scenario{}, fmt.Errorf("unknown scenario %q (one of %s)", name, strings.Join(names, ", "))
+}
+
+func main() {
+	proto := flag.String("proto", "verus", "congestion controller: verus|cubic|newreno|vegas|sprout")
+	r := flag.Float64("r", 2, "Verus R parameter")
+	flows := flag.Int("flows", 1, "number of flows")
+	tech := flag.String("tech", "3g", "cellular technology: 3g|lte")
+	scName := flag.String("scenario", "campus-stationary", "mobility scenario")
+	mbps := flag.Float64("mbps", 0, "cell mean rate override (Mbps, 0 = tech default)")
+	fixed := flag.Float64("fixed", 0, "use a fixed link at this rate (Mbps) instead of a cellular trace")
+	queue := flag.Int("queue", 2_000_000, "bottleneck buffer (bytes)")
+	red := flag.Bool("red", false, "use the paper's RED queue instead of DropTail")
+	dur := flag.Duration("dur", 60*time.Second, "run duration")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	mk, err := maker(*proto, *r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res experiments.RunResult
+	if *fixed > 0 {
+		res = experiments.FixedRun{
+			RateMbps: *fixed, Maker: mk, Flows: *flows,
+			Duration: *dur, QueueBytes: *queue, Seed: *seed,
+		}.Run()
+	} else {
+		sc, err := scenario(*scName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := cellular.Tech3G
+		if strings.EqualFold(*tech, "lte") {
+			t = cellular.TechLTE
+		}
+		model := cellular.NewModel(cellular.Config{Tech: t, Scenario: sc, MeanMbps: *mbps, Seed: *seed})
+		tr := model.Trace(*dur)
+		fmt.Printf("channel: %s, mean %.2f Mbps over %v\n", tr.Name, tr.MeanMbps(), *dur)
+		res = experiments.TraceRun{
+			Trace: tr, Maker: mk, Flows: *flows,
+			Duration: *dur, QueueBytes: *queue, UseRED: *red, Seed: *seed,
+		}.Run()
+	}
+
+	fmt.Printf("%-6s %12s %14s %14s %8s %9s\n", "flow", "tput (Mbps)", "delay avg (ms)", "delay p95 (ms)", "losses", "timeouts")
+	for _, f := range res.Flows {
+		fmt.Printf("%-6d %12.2f %14.0f %14.0f %8d %9d\n",
+			f.Flow, f.Mbps, f.DelayMean*1000, f.DelayP95*1000, f.Losses, f.Timeouts)
+	}
+	fmt.Printf("mean: %.2f Mbps @ %.0f ms\n", res.MeanMbps(), res.MeanDelay()*1000)
+}

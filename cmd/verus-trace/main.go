@@ -1,0 +1,169 @@
+// Command verus-trace generates, inspects, and converts cellular channel
+// traces.
+//
+// Usage:
+//
+//	verus-trace gen  -tech lte -scenario city-driving -dur 2m -out chan.trace
+//	verus-trace info -in chan.trace [-window 100ms]
+//	verus-trace conv -in chan.trace -out chan.mahi -format mahimahi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "conv":
+		conv(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: verus-trace gen|info|conv [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	tech := fs.String("tech", "3g", "3g|lte")
+	op := fs.String("operator", "b", "a|b")
+	scName := fs.String("scenario", "campus-stationary", "mobility scenario")
+	mbps := fs.Float64("mbps", 0, "mean rate override (Mbps)")
+	dur := fs.Duration("dur", time.Minute, "trace duration")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	var sc cellular.Scenario
+	for _, s := range cellular.Scenarios() {
+		if s.Name == *scName {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		log.Fatalf("unknown scenario %q", *scName)
+	}
+	cfg := cellular.Config{Scenario: sc, MeanMbps: *mbps, Seed: *seed}
+	if strings.EqualFold(*tech, "lte") {
+		cfg.Tech = cellular.TechLTE
+	}
+	if strings.EqualFold(*op, "a") {
+		cfg.Operator = cellular.OperatorA
+	} else {
+		cfg.Operator = cellular.OperatorB
+	}
+	tr := cellular.NewModel(cfg).Trace(*dur)
+	if *out == "" {
+		if err := tr.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := tr.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d opportunities, %.2f Mbps mean over %v\n", *out, len(tr.Ops), tr.MeanMbps(), tr.Duration)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	window := fs.Duration("window", 100*time.Millisecond, "throughput window")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("info: -in required")
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("name: %s\nduration: %v\nopportunities: %d\nbytes: %d\nmean: %.3f Mbps\n",
+		tr.Name, tr.Duration, len(tr.Ops), tr.TotalBytes(), tr.MeanMbps())
+	sizes, gaps := cellular.BurstStats(tr, 200*time.Microsecond)
+	var sMean float64
+	for _, s := range sizes {
+		sMean += s
+	}
+	if len(sizes) > 0 {
+		sMean /= float64(len(sizes))
+	}
+	var gMean time.Duration
+	for _, g := range gaps {
+		gMean += g
+	}
+	if len(gaps) > 0 {
+		gMean /= time.Duration(len(gaps))
+	}
+	fmt.Printf("bursts: %d (mean %.0f B, mean gap %v)\n", len(sizes), sMean, gMean)
+	w := tr.WindowedMbps(*window)
+	lo, hi := w[0], w[0]
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("windowed (%v): min %.2f, max %.2f Mbps over %d windows\n", *window, lo, hi, len(w))
+}
+
+func conv(args []string) {
+	fs := flag.NewFlagSet("conv", flag.ExitOnError)
+	in := fs.String("in", "", "input trace (CSV or mahimahi; auto-detected by -informat)")
+	inFormat := fs.String("informat", "csv", "csv|mahimahi")
+	out := fs.String("out", "", "output file (default stdout)")
+	outFormat := fs.String("format", "mahimahi", "csv|mahimahi")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("conv: -in required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if *inFormat == "mahimahi" {
+		tr, err = trace.ReadMahimahi(f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	if *outFormat == "mahimahi" {
+		err = tr.WriteMahimahi(w)
+	} else {
+		err = tr.Write(w)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

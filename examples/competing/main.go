@@ -1,0 +1,45 @@
+// Competing flows: N Verus flows share one cell; prints per-flow shares and
+// Jain's fairness index over 1-second windows (cf. paper Table 1 and
+// Fig. 12).
+//
+//	go run ./examples/competing
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		flows = 5
+		dur   = 60 * time.Second
+	)
+	model := cellular.NewModel(cellular.Config{
+		Tech:     cellular.Tech3G,
+		Scenario: cellular.CityStationary,
+		MeanMbps: 20,
+		Seed:     7,
+	})
+	tr := model.Trace(dur)
+	fmt.Printf("cell: %.1f Mbps mean; %d Verus flows (R=2) behind the paper's RED queue\n\n",
+		tr.MeanMbps(), flows)
+
+	res := experiments.TraceRun{
+		Trace: tr, Maker: experiments.VerusMaker(2), Flows: flows,
+		Duration: dur, UseRED: true, Seed: 7,
+	}.Run()
+
+	var total float64
+	for _, f := range res.Flows {
+		fmt.Printf("flow %d: %5.2f Mbps @ %4.0f ms mean delay\n", f.Flow, f.Mbps, f.DelayMean*1000)
+		total += f.Mbps
+	}
+	jain := stats.WindowedJain(res.PerSecondMbps)
+	fmt.Printf("\naggregate: %.2f Mbps (%.0f%% of cell), Jain fairness %.1f%%\n",
+		total, total/tr.MeanMbps()*100, jain*100)
+}

@@ -1,0 +1,292 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§3, §6, §7). Each harness builds its workload from the
+// repository's substrates (cellular channel model, network simulator,
+// protocol implementations), runs it, and renders the same rows or series
+// the paper reports. DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+//
+// Every harness is deterministic given its options (seeded randomness only)
+// and scales down gracefully so the same code backs both the full
+// reproduction (cmd/verus-bench) and the quick benchmarks (bench_test.go).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/cellular"
+	"repro/internal/netsim"
+	"repro/internal/sprout"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/verus"
+)
+
+// MTU is the paper's packet size.
+const MTU = 1400
+
+// Maker constructs a fresh controller per flow.
+type Maker struct {
+	Name string
+	New  func() cc.Controller
+}
+
+// VerusMaker returns a Maker for Verus with the given R.
+func VerusMaker(r float64) Maker {
+	return Maker{
+		Name: fmt.Sprintf("Verus (R=%g)", r),
+		New: func() cc.Controller {
+			cfg := verus.DefaultConfig()
+			cfg.R = r
+			return verus.New(cfg)
+		},
+	}
+}
+
+// VerusStaticMaker returns Verus with a frozen delay profile (Fig. 15).
+func VerusStaticMaker(r float64) Maker {
+	return Maker{
+		Name: fmt.Sprintf("Verus (R=%g) static", r),
+		New: func() cc.Controller {
+			cfg := verus.DefaultConfig()
+			cfg.R = r
+			cfg.StaticProfile = true
+			return verus.New(cfg)
+		},
+	}
+}
+
+// CubicMaker returns a Maker for TCP Cubic.
+func CubicMaker() Maker {
+	return Maker{Name: "TCP Cubic", New: func() cc.Controller { return tcp.NewCubic() }}
+}
+
+// NewRenoMaker returns a Maker for TCP NewReno.
+func NewRenoMaker() Maker {
+	return Maker{Name: "TCP NewReno", New: func() cc.Controller { return tcp.NewNewReno() }}
+}
+
+// VegasMaker returns a Maker for TCP Vegas.
+func VegasMaker() Maker {
+	return Maker{Name: "TCP Vegas", New: func() cc.Controller { return tcp.NewVegas() }}
+}
+
+// SproutMaker returns a Maker for the Sprout-like forecaster.
+func SproutMaker() Maker {
+	return Maker{Name: "Sprout", New: func() cc.Controller { return sprout.New(sprout.DefaultConfig()) }}
+}
+
+// FlowResult summarizes one flow of one run.
+type FlowResult struct {
+	Flow      int
+	Mbps      float64
+	DelayMean float64 // seconds, one-way
+	DelayP95  float64
+	Losses    int64
+	Timeouts  int64
+}
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	Flows []FlowResult
+	// PerSecondMbps[i] is flow i's throughput in 1 s windows.
+	PerSecondMbps [][]float64
+	// PerSecondDelay[i] is flow i's mean delay per 1 s window (seconds).
+	PerSecondDelay [][]float64
+}
+
+// MeanMbps returns the mean across flows of per-flow throughput.
+func (r RunResult) MeanMbps() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Flows {
+		s += f.Mbps
+	}
+	return s / float64(len(r.Flows))
+}
+
+// MeanDelay returns the mean across flows of per-flow mean one-way delay.
+func (r RunResult) MeanDelay() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Flows {
+		s += f.DelayMean
+	}
+	return s / float64(len(r.Flows))
+}
+
+// TraceRun describes a trace-driven dumbbell run: n identical flows of one
+// protocol over a shared queue drained by a recorded channel.
+type TraceRun struct {
+	Trace    *trace.Trace
+	Maker    Maker
+	Flows    int
+	Duration time.Duration
+	// QueueBytes sizes a DropTail buffer; ignored when UseRED is set.
+	QueueBytes int
+	// UseRED selects the paper's OPNET RED configuration (3/9 Mbit, 10%).
+	UseRED bool
+	// BaseOneWay is the propagation delay each way (default 10 ms).
+	BaseOneWay time.Duration
+	Seed       int64
+}
+
+// Run executes the trace-driven dumbbell and collects per-flow results.
+func (tr TraceRun) Run() RunResult {
+	if tr.BaseOneWay == 0 {
+		tr.BaseOneWay = 10 * time.Millisecond
+	}
+	if tr.QueueBytes == 0 {
+		tr.QueueBytes = 1_500_000
+	}
+	sim := netsim.NewSim()
+	specs := make([]netsim.FlowSpec, tr.Flows)
+	for i := range specs {
+		specs[i] = netsim.FlowSpec{Ctrl: tr.Maker.New(), AckDelay: tr.BaseOneWay}
+	}
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		var q netsim.Queue
+		if tr.UseRED {
+			q = netsim.PaperRED(tr.Seed)
+		} else {
+			q = netsim.NewDropTail(tr.QueueBytes)
+		}
+		return netsim.NewTraceLink(sim, q, tr.Trace, tr.BaseOneWay, dst, true, tr.Seed+1)
+	}, MTU, specs)
+	d.Run(tr.Duration)
+	return collect(d, tr.Duration)
+}
+
+// FixedRun describes a fixed-rate dumbbell run (the §7 micro-evaluations).
+type FixedRun struct {
+	RateMbps   float64
+	Maker      Maker
+	Flows      int
+	Duration   time.Duration
+	QueueBytes int
+	BaseOneWay time.Duration
+	// Stagger starts flow i at i×Stagger.
+	Stagger time.Duration
+	// AckDelays overrides per-flow reverse delays (Fig. 13's RTT mix).
+	AckDelays []time.Duration
+	Seed      int64
+	// Mutate, when non-nil, is invoked every MutateEvery with the link and
+	// an iteration counter (Fig. 11's 5-second parameter re-draws).
+	Mutate      func(l *netsim.FixedLink, flows []*netsim.Source, iter int)
+	MutateEvery time.Duration
+	// ExtraMakers appends differently-controlled flows after the first
+	// Flows (Fig. 14's Verus-vs-Cubic mix); they continue the stagger.
+	ExtraMakers []Maker
+}
+
+// Run executes the fixed-rate dumbbell.
+func (fr FixedRun) Run() RunResult {
+	if fr.BaseOneWay == 0 {
+		fr.BaseOneWay = 10 * time.Millisecond
+	}
+	if fr.QueueBytes == 0 {
+		fr.QueueBytes = 1_000_000
+	}
+	sim := netsim.NewSim()
+	var specs []netsim.FlowSpec
+	add := func(m Maker, idx int) {
+		ackDelay := fr.BaseOneWay
+		if idx < len(fr.AckDelays) {
+			ackDelay = fr.AckDelays[idx]
+		}
+		specs = append(specs, netsim.FlowSpec{
+			Ctrl:     m.New(),
+			AckDelay: ackDelay,
+			Start:    time.Duration(idx) * fr.Stagger,
+		})
+	}
+	idx := 0
+	for i := 0; i < fr.Flows; i++ {
+		add(fr.Maker, idx)
+		idx++
+	}
+	for _, m := range fr.ExtraMakers {
+		add(m, idx)
+		idx++
+	}
+	var link *netsim.FixedLink
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		link = netsim.NewFixedLink(sim, netsim.NewDropTail(fr.QueueBytes), fr.RateMbps, fr.BaseOneWay, dst, fr.Seed)
+		return link
+	}, MTU, specs)
+	if fr.Mutate != nil && fr.MutateEvery > 0 {
+		iter := 0
+		sim.Every(fr.MutateEvery, func() {
+			iter++
+			fr.Mutate(link, d.Sources, iter)
+		})
+	}
+	d.Run(fr.Duration)
+	return collect(d, fr.Duration)
+}
+
+func collect(d *netsim.Dumbbell, horizon time.Duration) RunResult {
+	var out RunResult
+	for i, m := range d.Metrics {
+		out.Flows = append(out.Flows, FlowResult{
+			Flow:      i,
+			Mbps:      m.MeanMbps(horizon),
+			DelayMean: m.Delay.Mean(),
+			DelayP95:  m.Delay.Percentile(95),
+			Losses:    m.LossDetected,
+			Timeouts:  m.Timeouts,
+		})
+		out.PerSecondMbps = append(out.PerSecondMbps, m.Throughput.Mbps())
+		out.PerSecondDelay = append(out.PerSecondDelay, m.DelayOverTime.Means())
+	}
+	return out
+}
+
+// cellTrace generates a shared-cell capacity trace for the given technology
+// and scenario at totalMbps aggregate capacity.
+func cellTrace(tech cellular.Tech, sc cellular.Scenario, totalMbps float64, d time.Duration, seed int64) *trace.Trace {
+	m := cellular.NewModel(cellular.Config{
+		Tech:     tech,
+		Operator: cellular.OperatorB,
+		Scenario: sc,
+		MeanMbps: totalMbps / sc.RateFactor, // cancel the scenario factor: totalMbps is the target
+		Seed:     seed,
+	})
+	return m.Trace(d)
+}
+
+// table renders rows of label → columns as fixed-width text.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

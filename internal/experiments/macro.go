@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/stats"
+)
+
+// MacroOptions scale the §6 macro-evaluation experiments.
+type MacroOptions struct {
+	// Duration per run (paper: 2 minutes).
+	Duration time.Duration
+	// Reps averages over repetitions (paper: 5).
+	Reps int
+	Seed int64
+}
+
+// DefaultMacroOptions returns the paper's scale.
+func DefaultMacroOptions() MacroOptions {
+	return MacroOptions{Duration: 2 * time.Minute, Reps: 5, Seed: 42}
+}
+
+// QuickMacroOptions returns a fast configuration for tests and benchmarks.
+func QuickMacroOptions() MacroOptions {
+	return MacroOptions{Duration: 20 * time.Second, Reps: 1, Seed: 42}
+}
+
+// bloatBytes sizes the Fig. 8/9 cell buffer. Carriers over-dimension base
+// station buffers (the "bufferbloat" of §2: "multi-second delays"); 8 MB at
+// a 16 Mbps cell is ~4 s of queue, which is what lets loss-based TCP build
+// the order-of-magnitude delay gap the paper reports.
+const bloatBytes = 8_000_000
+
+// ProtocolPoint is one protocol's position on a throughput-vs-delay plot.
+type ProtocolPoint struct {
+	Protocol string
+	Mbps     float64
+	DelaySec float64
+	DelayP95 float64
+}
+
+// Figure8Result holds the 3G and LTE throughput-vs-delay comparison of
+// paper Fig. 8: Cubic, Vegas, Verus (R=6), and Sprout, nine flows each.
+type Figure8Result struct {
+	Tech   []string
+	Points [][]ProtocolPoint // per tech, per protocol
+}
+
+// figure8Protocols are the paper's real-world contenders.
+func figure8Protocols() []Maker {
+	return []Maker{CubicMaker(), VegasMaker(), VerusMaker(6), SproutMaker()}
+}
+
+// Figure8 runs the real-world macro comparison on modeled 3G and LTE cells:
+// "Three phones each running three <protocol> flows" → nine flows sharing
+// the cell, averaged across flows and repetitions.
+func Figure8(opts MacroOptions) Figure8Result {
+	out := Figure8Result{}
+	cells := []struct {
+		name  string
+		tech  cellular.Tech
+		total float64
+	}{
+		{"3G", cellular.Tech3G, 16},
+		{"LTE", cellular.TechLTE, 40},
+	}
+	for ci, cell := range cells {
+		var points []ProtocolPoint
+		for pi, mk := range figure8Protocols() {
+			var mbps, delay, p95 float64
+			for rep := 0; rep < opts.Reps; rep++ {
+				seed := opts.Seed + int64(1000*ci+100*pi+rep)
+				tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
+				res := TraceRun{
+					Trace: tr, Maker: mk, Flows: 9,
+					Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+				}.Run()
+				mbps += res.MeanMbps()
+				delay += res.MeanDelay()
+				var pp float64
+				for _, f := range res.Flows {
+					pp += f.DelayP95
+				}
+				p95 += pp / float64(len(res.Flows))
+			}
+			n := float64(opts.Reps)
+			points = append(points, ProtocolPoint{
+				Protocol: mk.Name, Mbps: mbps / n, DelaySec: delay / n, DelayP95: p95 / n,
+			})
+		}
+		out.Tech = append(out.Tech, cell.name)
+		out.Points = append(out.Points, points)
+	}
+	return out
+}
+
+// Render prints Fig. 8 rows.
+func (r Figure8Result) Render() string {
+	s := "Figure 8: averaged throughput and delay, 9 flows per protocol\n"
+	for i, tech := range r.Tech {
+		var rows [][]string
+		for _, p := range r.Points[i] {
+			rows = append(rows, []string{
+				p.Protocol,
+				fmt.Sprintf("%.2f", p.Mbps),
+				fmt.Sprintf("%.0f", p.DelaySec*1000),
+				fmt.Sprintf("%.0f", p.DelayP95*1000),
+			})
+		}
+		s += fmt.Sprintf("-- %s --\n", tech)
+		s += table([]string{"protocol", "tput/flow (Mbps)", "mean delay (ms)", "p95 delay (ms)"}, rows)
+	}
+	return s
+}
+
+// Figure9Result holds the Verus R-parameter sweep of paper Fig. 9.
+type Figure9Result struct {
+	Tech   []string
+	Points [][]ProtocolPoint
+}
+
+// Figure9 repeats the Fig. 8 setup for Verus with R ∈ {2, 4, 6}: "Depending
+// on the value of R, the Verus protocol can be tuned to achieve a trade-off
+// between a higher throughput or lower delay."
+func Figure9(opts MacroOptions) Figure9Result {
+	out := Figure9Result{}
+	cells := []struct {
+		name  string
+		tech  cellular.Tech
+		total float64
+	}{
+		{"3G", cellular.Tech3G, 16},
+		{"LTE", cellular.TechLTE, 40},
+	}
+	rs := []float64{2, 4, 6}
+	for ci, cell := range cells {
+		var points []ProtocolPoint
+		for pi, rv := range rs {
+			mk := VerusMaker(rv)
+			var mbps, delay float64
+			for rep := 0; rep < opts.Reps; rep++ {
+				seed := opts.Seed + int64(1000*ci+100*pi+rep)
+				tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
+				res := TraceRun{
+					Trace: tr, Maker: mk, Flows: 9,
+					Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+				}.Run()
+				mbps += res.MeanMbps()
+				delay += res.MeanDelay()
+			}
+			n := float64(opts.Reps)
+			points = append(points, ProtocolPoint{Protocol: mk.Name, Mbps: mbps / n, DelaySec: delay / n})
+		}
+		out.Tech = append(out.Tech, cell.name)
+		out.Points = append(out.Points, points)
+	}
+	return out
+}
+
+// Render prints Fig. 9 rows.
+func (r Figure9Result) Render() string {
+	s := "Figure 9: Verus R sweep (throughput/delay trade-off)\n"
+	for i, tech := range r.Tech {
+		var rows [][]string
+		for _, p := range r.Points[i] {
+			rows = append(rows, []string{
+				p.Protocol, fmt.Sprintf("%.2f", p.Mbps), fmt.Sprintf("%.0f", p.DelaySec*1000),
+			})
+		}
+		s += fmt.Sprintf("-- %s --\n", tech)
+		s += table([]string{"protocol", "tput/flow (Mbps)", "mean delay (ms)"}, rows)
+	}
+	return s
+}
+
+// Figure10Result is the trace-driven contention evaluation of paper Fig. 10:
+// per-flow (delay, throughput) scatter for three mobility patterns, with 10
+// concurrent flows behind the paper's RED queue.
+type Figure10Result struct {
+	Scenarios []string
+	// PerFlow[s][p] lists the per-flow points of protocol p in scenario s.
+	PerFlow   [][][]ProtocolPoint
+	Summary   [][]ProtocolPoint
+	Protocols []string
+}
+
+// figure10Protocols are the trace-driven contenders.
+func figure10Protocols() []Maker {
+	return []Maker{CubicMaker(), NewRenoMaker(), VerusMaker(2), VerusMaker(4), VerusMaker(6)}
+}
+
+// Figure10 runs 10 flows of each protocol over three mobility scenarios
+// through the paper's shared RED queue (3 Mbit min, 9 Mbit max, 10% drop).
+func Figure10(opts MacroOptions) Figure10Result {
+	out := Figure10Result{}
+	scenarios := []cellular.Scenario{
+		cellular.CampusPedestrian, cellular.CityDriving, cellular.HighwayDriving,
+	}
+	for _, mk := range figure10Protocols() {
+		out.Protocols = append(out.Protocols, mk.Name)
+	}
+	for si, sc := range scenarios {
+		out.Scenarios = append(out.Scenarios, sc.Name)
+		var perFlow [][]ProtocolPoint
+		var summary []ProtocolPoint
+		for pi, mk := range figure10Protocols() {
+			seed := opts.Seed + int64(1000*si+100*pi)
+			tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
+			res := TraceRun{
+				Trace: tr, Maker: mk, Flows: 10,
+				Duration: opts.Duration, UseRED: true, Seed: seed,
+			}.Run()
+			var pts []ProtocolPoint
+			for _, f := range res.Flows {
+				pts = append(pts, ProtocolPoint{Protocol: mk.Name, Mbps: f.Mbps, DelaySec: f.DelayMean})
+			}
+			perFlow = append(perFlow, pts)
+			summary = append(summary, ProtocolPoint{Protocol: mk.Name, Mbps: res.MeanMbps(), DelaySec: res.MeanDelay()})
+		}
+		out.PerFlow = append(out.PerFlow, perFlow)
+		out.Summary = append(out.Summary, summary)
+	}
+	return out
+}
+
+// Render prints the Fig. 10 summaries.
+func (r Figure10Result) Render() string {
+	s := "Figure 10: trace-driven contention (10 flows, shared RED queue)\n"
+	for si, sc := range r.Scenarios {
+		var rows [][]string
+		for _, p := range r.Summary[si] {
+			rows = append(rows, []string{
+				p.Protocol, fmt.Sprintf("%.2f", p.Mbps), fmt.Sprintf("%.0f", p.DelaySec*1000),
+			})
+		}
+		s += fmt.Sprintf("-- %s --\n", sc)
+		s += table([]string{"protocol", "tput/flow (Mbps)", "mean delay (ms)"}, rows)
+	}
+	return s
+}
+
+// Table1Result is Jain's fairness index per protocol and user count (paper
+// Table 1), averaged across the five trace scenarios.
+type Table1Result struct {
+	Users     []int
+	Protocols []string
+	// Index[u][p] is the averaged fairness index.
+	Index [][]float64
+}
+
+// table1Scenarios are the "five different scenarios" the paper averages
+// over.
+func table1Scenarios() []cellular.Scenario {
+	return []cellular.Scenario{
+		cellular.CampusPedestrian, cellular.CityStationary, cellular.CityDriving,
+		cellular.HighwayDriving, cellular.ShoppingMall,
+	}
+}
+
+// Table1 computes 1-second-windowed Jain fairness for Cubic, NewReno, and
+// Verus (R=2) at 2..20 concurrent users.
+func Table1(opts MacroOptions) Table1Result {
+	makers := []Maker{CubicMaker(), NewRenoMaker(), VerusMaker(2)}
+	out := Table1Result{Users: []int{2, 5, 10, 15, 20}}
+	for _, m := range makers {
+		out.Protocols = append(out.Protocols, m.Name)
+	}
+	scenarios := table1Scenarios()
+	if opts.Reps < len(scenarios) {
+		scenarios = scenarios[:opts.Reps]
+	}
+	for _, users := range out.Users {
+		row := make([]float64, len(makers))
+		for pi, mk := range makers {
+			var acc float64
+			for si, sc := range scenarios {
+				seed := opts.Seed + int64(10000*users+100*pi+si)
+				tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
+				res := TraceRun{
+					Trace: tr, Maker: mk, Flows: users,
+					Duration: opts.Duration, UseRED: true, Seed: seed,
+				}.Run()
+				acc += stats.WindowedJain(res.PerSecondMbps)
+			}
+			row[pi] = acc / float64(len(scenarios))
+		}
+		out.Index = append(out.Index, row)
+	}
+	return out
+}
+
+// Render prints Table 1.
+func (r Table1Result) Render() string {
+	header := append([]string{"scenario"}, r.Protocols...)
+	var rows [][]string
+	for ui, users := range r.Users {
+		row := []string{fmt.Sprintf("%d Users", users)}
+		for pi := range r.Protocols {
+			row = append(row, fmt.Sprintf("%.1f%%", r.Index[ui][pi]*100))
+		}
+		rows = append(rows, row)
+	}
+	return "Table 1: Jain's fairness index comparison\n" + table(header, rows)
+}

@@ -1,0 +1,84 @@
+package netsim
+
+import "time"
+
+// CBR is a constant-bit-rate sender with an optional ON/OFF duty cycle — the
+// traffic generator behind the paper's §3 measurements (a UDP tool sending
+// at fixed intervals) and the competing-traffic experiment of Fig. 3 (a
+// second user "set to operate in ON/OFF periods of one minute intervals").
+type CBR struct {
+	sim     *Sim
+	flow    int
+	link    Link
+	mtu     int
+	metrics *FlowMetrics
+	sink    *Sink
+
+	interval time.Duration
+	onFor    time.Duration // 0 = always on
+	offFor   time.Duration
+	nextSeq  int64
+	stopped  bool
+}
+
+// NewCBR creates a constant-rate flow of rateMbps using mtu-sized packets,
+// starting at `start` and stopping at `stop` (0 = forever). When onFor and
+// offFor are positive the flow alternates between sending for onFor and
+// staying silent for offFor, beginning with an ON period.
+func NewCBR(sim *Sim, flow int, link Link, mtu int, rateMbps float64,
+	start, stop, onFor, offFor time.Duration) (*CBR, *FlowMetrics) {
+	if rateMbps <= 0 {
+		panic("netsim: CBR rate must be positive")
+	}
+	if mtu <= 0 {
+		panic("netsim: MTU must be positive")
+	}
+	m := NewFlowMetrics(flow)
+	c := &CBR{
+		sim:      sim,
+		flow:     flow,
+		link:     link,
+		mtu:      mtu,
+		metrics:  m,
+		interval: time.Duration(float64(mtu*8) / (rateMbps * 1e6) * float64(time.Second)),
+		onFor:    onFor,
+		offFor:   offFor,
+	}
+	c.sink = &Sink{sim: sim, metrics: m} // no src: CBR needs no ACKs
+	sim.Schedule(start, func() { c.run() })
+	if stop > 0 {
+		sim.Schedule(stop, func() { c.stopped = true })
+	}
+	return c, m
+}
+
+// Metrics returns the flow's metric sink.
+func (c *CBR) Metrics() *FlowMetrics { return c.metrics }
+
+// Sink returns the flow's receiver, to be registered with the link
+// dispatcher.
+func (c *CBR) Sink() Receiver { return c.sink }
+
+func (c *CBR) run() {
+	if c.stopped {
+		return
+	}
+	if c.onFor > 0 && c.offFor > 0 {
+		cycle := c.onFor + c.offFor
+		phase := c.sim.Now() % cycle
+		if phase >= c.onFor {
+			// In an OFF period: sleep until the next ON boundary.
+			c.sim.After(cycle-phase, c.run)
+			return
+		}
+	}
+	c.send()
+	c.sim.After(c.interval, c.run)
+}
+
+func (c *CBR) send() {
+	p := &Packet{Flow: c.flow, Seq: c.nextSeq, Bytes: c.mtu, SentAt: c.sim.Now()}
+	c.nextSeq++
+	c.metrics.Sent++
+	c.link.Send(p)
+}

@@ -1,0 +1,305 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/stats"
+)
+
+// FlowMetrics aggregates what the paper reports per flow: delivered
+// throughput (1-second windows, the Table 1 fairness granularity),
+// per-packet one-way delay, and packet accounting.
+type FlowMetrics struct {
+	Flow int
+	// Throughput is delivered bytes in 1 s windows at the sink.
+	Throughput *stats.ThroughputSeries
+	// Delay summarizes per-packet one-way delay in seconds (send to sink
+	// arrival, including queueing).
+	Delay *stats.Summary
+	// DelayOverTime is the mean one-way delay per 1 s window.
+	DelayOverTime *stats.WindowedMean
+	// Sent, Received, LossDetected, Timeouts count packets and events.
+	Sent, Received, LossDetected, Timeouts int64
+}
+
+// NewFlowMetrics returns zeroed metrics for a flow.
+func NewFlowMetrics(flow int) *FlowMetrics {
+	return &FlowMetrics{
+		Flow:          flow,
+		Throughput:    stats.NewThroughputSeries(time.Second),
+		Delay:         stats.NewSummary(1024),
+		DelayOverTime: stats.NewWindowedMean(time.Second),
+	}
+}
+
+// MeanMbps returns the flow's average delivered rate over the given horizon.
+// Using the horizon rather than the spanned windows avoids over-crediting
+// flows that stopped early.
+func (m *FlowMetrics) MeanMbps(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(m.Throughput.TotalBytes()) * 8 / horizon.Seconds() / 1e6
+}
+
+// Sink terminates a flow: it records delivery metrics and schedules the
+// acknowledgement's arrival back at the source after the reverse-path delay.
+type Sink struct {
+	sim      *Sim
+	metrics  *FlowMetrics
+	ackDelay time.Duration
+	src      *Source
+}
+
+// Receive implements Receiver.
+func (k *Sink) Receive(p *Packet) {
+	now := k.sim.Now()
+	oneWay := now - p.SentAt
+	k.metrics.Received++
+	k.metrics.Throughput.Add(now, p.Bytes)
+	k.metrics.Delay.Add(oneWay.Seconds())
+	k.metrics.DelayOverTime.Add(now, oneWay.Seconds())
+	if k.src == nil {
+		return // CBR flows have no feedback loop
+	}
+	pkt := p
+	k.sim.After(k.ackDelay, func() { k.src.onAck(pkt) })
+}
+
+// outstanding tracks one unacknowledged packet at the source.
+type outstanding struct {
+	seq        int64
+	sentAt     time.Duration
+	window     int
+	ackedAfter int // packets with higher seq acked since (dup-ack analogue)
+	lost       bool
+}
+
+const (
+	// dupThresh is the number of later acknowledgements after which a
+	// missing packet is declared lost (TCP's three duplicate ACKs; the
+	// Verus prototype uses a 3×delay timer — the source also applies a
+	// per-packet timer of 3×SRTT for tail losses).
+	dupThresh = 3
+	// minRTO and maxRTO clamp the retransmission timeout. maxRTO must
+	// comfortably exceed the deepest bufferbloat delay (multi-second on
+	// cellular links, §2), or flows livelock in spurious-timeout loops.
+	minRTO = 200 * time.Millisecond
+	maxRTO = 60 * time.Second
+)
+
+// Source is a full-buffer sender driven by a cc.Controller. It performs the
+// host duties the controller interface leaves out: sequencing, per-packet
+// send tags, RTT estimation, duplicate-ack and timer loss detection, and the
+// retransmission timeout.
+type Source struct {
+	sim  *Sim
+	flow int
+	ctrl cc.Controller
+	link Link
+	mtu  int
+
+	metrics *FlowMetrics
+
+	nextSeq  int64
+	inflight []*outstanding // ordered by seq
+	srtt     time.Duration
+	rttvar   time.Duration
+	lastProg time.Duration // last forward progress, for RTO
+	backoff  int           // consecutive RTOs without progress (exponential backoff)
+	stopped  bool
+	started  bool
+	stopTick func()
+	stopRTO  func()
+	sink     *Sink
+}
+
+// NewSource wires a controller into the simulation. The flow starts sending
+// at `start` and stops at `stop` (0 = run forever). ackDelay is the
+// reverse-path one-way delay, which together with the link's forward
+// propagation delay forms the flow's base RTT.
+func NewSource(sim *Sim, flow int, ctrl cc.Controller, link Link, mtu int,
+	ackDelay, start, stop time.Duration) (*Source, *FlowMetrics) {
+	if mtu <= 0 {
+		panic("netsim: MTU must be positive")
+	}
+	m := NewFlowMetrics(flow)
+	s := &Source{sim: sim, flow: flow, ctrl: ctrl, link: link, mtu: mtu, metrics: m}
+	s.sink = &Sink{sim: sim, metrics: m, ackDelay: ackDelay, src: s}
+	sim.Schedule(start, func() {
+		s.started = true
+		s.lastProg = sim.Now()
+		if iv := ctrl.TickInterval(); iv > 0 {
+			s.stopTick = sim.Every(iv, func() {
+				if s.stopped {
+					return
+				}
+				ctrl.Tick(sim.Now())
+				s.trySend()
+			})
+		}
+		s.stopRTO = sim.Every(10*time.Millisecond, s.checkRTO)
+		s.trySend()
+	})
+	if stop > 0 {
+		sim.Schedule(stop, s.Stop)
+	}
+	return s, m
+}
+
+// Stop halts the flow (no further transmissions).
+func (s *Source) Stop() {
+	s.stopped = true
+	if s.stopTick != nil {
+		s.stopTick()
+	}
+	if s.stopRTO != nil {
+		s.stopRTO()
+	}
+}
+
+// Metrics returns the flow's metric sink.
+func (s *Source) Metrics() *FlowMetrics { return s.metrics }
+
+// Sink returns the flow's receiver, to be registered with the link
+// dispatcher.
+func (s *Source) Sink() Receiver { return s.sink }
+
+func (s *Source) trySend() {
+	if s.stopped || !s.started {
+		return
+	}
+	now := s.sim.Now()
+	n := s.ctrl.Allowance(now, len(s.inflight))
+	for i := 0; i < n; i++ {
+		p := &Packet{
+			Flow:   s.flow,
+			Seq:    s.nextSeq,
+			Bytes:  s.mtu,
+			SentAt: now,
+			Window: s.ctrl.SendTag(),
+		}
+		s.nextSeq++
+		s.inflight = append(s.inflight, &outstanding{seq: p.Seq, sentAt: now, window: p.Window})
+		s.metrics.Sent++
+		s.ctrl.OnSend(now, p.Seq, len(s.inflight))
+		s.link.Send(p)
+	}
+}
+
+// onAck processes the acknowledgement for packet p arriving now.
+func (s *Source) onAck(p *Packet) {
+	if s.stopped {
+		return
+	}
+	now := s.sim.Now()
+	idx := -1
+	for i, o := range s.inflight {
+		if o.seq == p.Seq {
+			idx = i
+			break
+		}
+		if o.seq > p.Seq {
+			break
+		}
+	}
+	if idx < 0 {
+		return // already declared lost or duplicate ack
+	}
+	o := s.inflight[idx]
+	s.inflight = append(s.inflight[:idx], s.inflight[idx+1:]...)
+	rtt := now - o.sentAt
+	s.updateRTT(rtt)
+	s.lastProg = now
+	s.backoff = 0
+
+	s.ctrl.OnAck(now, cc.AckSample{
+		Seq:        p.Seq,
+		RTT:        rtt,
+		SentWindow: o.window,
+		Inflight:   len(s.inflight),
+		Bytes:      p.Bytes,
+	})
+
+	// Dup-ack analogue: everything older than the acked packet has now been
+	// "acked past" once more; declare losses at the threshold. Also run the
+	// per-packet 3×SRTT timer the Verus prototype uses.
+	s.detectLosses(now, p.Seq)
+	s.trySend()
+}
+
+func (s *Source) detectLosses(now time.Duration, ackedSeq int64) {
+	timerCut := 3 * s.srtt
+	kept := s.inflight[:0]
+	for _, o := range s.inflight {
+		lost := false
+		if o.seq < ackedSeq {
+			o.ackedAfter++
+			if o.ackedAfter >= dupThresh {
+				lost = true
+			}
+		}
+		if !lost && s.srtt > 0 && now-o.sentAt > timerCut && o.ackedAfter > 0 {
+			lost = true
+		}
+		if lost {
+			s.metrics.LossDetected++
+			s.ctrl.OnLoss(now, cc.LossEvent{Seq: o.seq, SentWindow: o.window, Inflight: len(s.inflight) - 1})
+			continue
+		}
+		kept = append(kept, o)
+	}
+	s.inflight = kept
+}
+
+func (s *Source) updateRTT(rtt time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		return
+	}
+	// RFC 6298 smoothing.
+	diff := s.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + rtt) / 8
+}
+
+func (s *Source) rto() time.Duration {
+	r := time.Second
+	if s.srtt != 0 {
+		// 2×srtt tolerates the RTT doubling within one round that slow
+		// start over a filling buffer produces; rttvar alone lags it.
+		r = 2*s.srtt + 4*s.rttvar
+	}
+	for i := 0; i < s.backoff && r < maxRTO; i++ {
+		r *= 2 // exponential backoff after consecutive timeouts
+	}
+	if r < minRTO {
+		r = minRTO
+	}
+	if r > maxRTO {
+		r = maxRTO
+	}
+	return r
+}
+
+func (s *Source) checkRTO() {
+	if s.stopped || len(s.inflight) == 0 {
+		return
+	}
+	now := s.sim.Now()
+	if now-s.lastProg < s.rto() {
+		return
+	}
+	// Whole window presumed lost.
+	s.metrics.Timeouts++
+	s.inflight = s.inflight[:0]
+	s.lastProg = now
+	s.backoff++
+	s.ctrl.OnTimeout(now)
+	s.trySend()
+}

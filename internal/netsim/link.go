@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Receiver consumes packets that exit a link.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet) { f(p) }
+
+// Link is a bottleneck entry point: sources push packets in, the link queues
+// and serves them, and delivered packets reach the configured Receiver.
+type Link interface {
+	Send(p *Packet)
+	// Queue exposes the link's buffer (for instrumentation).
+	Queue() Queue
+}
+
+// FixedLink serializes packets at a configurable rate with a propagation
+// delay and an optional i.i.d. loss probability. Rate, delay, and loss can
+// change at runtime — the mechanism behind the paper's §7 micro-evaluations
+// where "every five seconds the whole network parameters, i.e. link
+// capacity, network RTT, and loss rate, are changed."
+type FixedLink struct {
+	sim   *Sim
+	queue Queue
+	dst   Receiver
+	rng   *rand.Rand
+
+	rateBps  float64
+	propDly  time.Duration
+	lossProb float64
+	busy     bool
+
+	// Delivered counts packets that exited the link.
+	Delivered int64
+	// Lost counts packets dropped by loss injection.
+	Lost int64
+}
+
+// NewFixedLink returns a link serving q at rateMbps with the given one-way
+// propagation delay, delivering to dst.
+func NewFixedLink(sim *Sim, q Queue, rateMbps float64, prop time.Duration, dst Receiver, seed int64) *FixedLink {
+	if rateMbps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &FixedLink{
+		sim:     sim,
+		queue:   q,
+		dst:     dst,
+		rng:     rand.New(rand.NewSource(seed)),
+		rateBps: rateMbps * 1e6,
+		propDly: prop,
+	}
+}
+
+// SetRateMbps changes the link capacity; it applies to the next
+// serialization.
+func (l *FixedLink) SetRateMbps(m float64) {
+	if m <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	l.rateBps = m * 1e6
+}
+
+// RateMbps returns the current capacity.
+func (l *FixedLink) RateMbps() float64 { return l.rateBps / 1e6 }
+
+// SetPropDelay changes the one-way propagation delay for future deliveries.
+func (l *FixedLink) SetPropDelay(d time.Duration) { l.propDly = d }
+
+// SetLossProb changes the i.i.d. loss probability in [0, 1].
+func (l *FixedLink) SetLossProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("netsim: loss probability out of range")
+	}
+	l.lossProb = p
+}
+
+// Queue implements Link.
+func (l *FixedLink) Queue() Queue { return l.queue }
+
+// Send implements Link.
+func (l *FixedLink) Send(p *Packet) {
+	if !l.queue.Enqueue(p, l.sim.Now()) {
+		return
+	}
+	if !l.busy {
+		l.serveNext()
+	}
+}
+
+func (l *FixedLink) serveNext() {
+	p := l.queue.Dequeue(l.sim.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	ser := time.Duration(float64(p.Bytes*8) / l.rateBps * float64(time.Second))
+	l.sim.After(ser, func() {
+		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
+			l.Lost++
+		} else {
+			l.Delivered++
+			pkt := p
+			l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
+		}
+		l.serveNext()
+	})
+}
+
+// TraceLink drains its queue according to a recorded cellular trace: at each
+// delivery opportunity up to Opportunity.Bytes of whole packets leave the
+// queue. Unused opportunity bytes are wasted, as in a real cellular
+// scheduler (and in mahimahi's trace replay). This is the paper's OPNET
+// traffic shaper: "The channel traces are fed into a traffic shaper and
+// replayed upon packet arrival."
+type TraceLink struct {
+	sim   *Sim
+	queue Queue
+	dst   Receiver
+	rng   *rand.Rand
+	tr    *trace.Trace
+
+	propDly  time.Duration
+	lossProb float64
+	loop     bool
+	// headServed is how many bytes of the head packet have already been
+	// served by earlier opportunities (RLC-style segmentation: a packet may
+	// span several transmission opportunities).
+	headServed int
+
+	// Delivered counts packets that exited the link; Lost counts loss
+	// injections; WastedBytes counts unused opportunity capacity.
+	Delivered   int64
+	Lost        int64
+	WastedBytes int64
+}
+
+// NewTraceLink returns a link that replays tr. When loop is true the trace
+// repeats indefinitely; otherwise the channel goes silent when the trace
+// ends.
+func NewTraceLink(sim *Sim, q Queue, tr *trace.Trace, prop time.Duration, dst Receiver, loop bool, seed int64) *TraceLink {
+	if len(tr.Ops) == 0 {
+		panic("netsim: trace has no delivery opportunities")
+	}
+	l := &TraceLink{
+		sim:     sim,
+		queue:   q,
+		dst:     dst,
+		rng:     rand.New(rand.NewSource(seed)),
+		tr:      tr,
+		propDly: prop,
+		loop:    loop,
+	}
+	l.scheduleOp(0, 0)
+	return l
+}
+
+// SetLossProb changes the i.i.d. loss probability in [0, 1].
+func (l *TraceLink) SetLossProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("netsim: loss probability out of range")
+	}
+	l.lossProb = p
+}
+
+// Queue implements Link.
+func (l *TraceLink) Queue() Queue { return l.queue }
+
+// Send implements Link.
+func (l *TraceLink) Send(p *Packet) {
+	l.queue.Enqueue(p, l.sim.Now())
+}
+
+func (l *TraceLink) scheduleOp(idx int, base time.Duration) {
+	if idx >= len(l.tr.Ops) {
+		if !l.loop || l.tr.Duration <= 0 {
+			return
+		}
+		idx = 0
+		base += l.tr.Duration
+	}
+	op := l.tr.Ops[idx]
+	l.sim.Schedule(base+op.At, func() {
+		l.serve(op.Bytes)
+		l.scheduleOp(idx+1, base)
+	})
+}
+
+func (l *TraceLink) serve(budget int) {
+	for budget > 0 {
+		head := l.peek()
+		if head == nil {
+			// Idle channel: this opportunity's capacity is lost, the
+			// non-work-conserving property of a cellular scheduler.
+			l.WastedBytes += int64(budget)
+			return
+		}
+		need := head.Bytes - l.headServed
+		if need > budget {
+			// Partial service; the packet completes in a later opportunity
+			// (RLC segmentation).
+			l.headServed += budget
+			return
+		}
+		budget -= need
+		l.headServed = 0
+		p := l.queue.Dequeue(l.sim.Now())
+		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
+			l.Lost++
+			continue
+		}
+		l.Delivered++
+		pkt := p
+		l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
+	}
+}
+
+// peek returns the head packet without removing it. Queue has no Peek, so
+// TraceLink relies on the concrete types used in this package.
+func (l *TraceLink) peek() *Packet {
+	switch q := l.queue.(type) {
+	case *DropTail:
+		if len(q.fifo) == 0 {
+			return nil
+		}
+		return q.fifo[0]
+	case *RED:
+		if len(q.fifo) == 0 {
+			return nil
+		}
+		return q.fifo[0]
+	default:
+		panic("netsim: TraceLink requires a DropTail or RED queue")
+	}
+}

@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Packet is the unit of transfer in the simulator.
+type Packet struct {
+	// Flow identifies the sending flow.
+	Flow int
+	// Seq is the flow-local sequence number.
+	Seq int64
+	// Bytes is the packet size on the wire.
+	Bytes int
+	// SentAt is when the source transmitted the packet.
+	SentAt time.Duration
+	// Window is the controller's SendTag at transmission time (Verus W_i).
+	Window int
+}
+
+// Queue is a bottleneck buffer. Enqueue returns false when the packet is
+// dropped (tail drop or AQM decision).
+type Queue interface {
+	Enqueue(p *Packet, now time.Duration) bool
+	Dequeue(now time.Duration) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the total queued bytes.
+	Bytes() int
+}
+
+// DropTail is a FIFO with a byte capacity.
+type DropTail struct {
+	limit int
+	fifo  []*Packet
+	bytes int
+	// Drops counts enqueue rejections.
+	Drops int
+}
+
+// NewDropTail returns a FIFO that holds at most limitBytes.
+func NewDropTail(limitBytes int) *DropTail {
+	if limitBytes <= 0 {
+		panic("netsim: DropTail limit must be positive")
+	}
+	return &DropTail{limit: limitBytes}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet, _ time.Duration) bool {
+	if q.bytes+p.Bytes > q.limit {
+		q.Drops++
+		return false
+	}
+	q.fifo = append(q.fifo, p)
+	q.bytes += p.Bytes
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(_ time.Duration) *Packet {
+	if len(q.fifo) == 0 {
+		return nil
+	}
+	p := q.fifo[0]
+	q.fifo[0] = nil
+	q.fifo = q.fifo[1:]
+	q.bytes -= p.Bytes
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.fifo) }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// RED is Random Early Detection queue management (Floyd & Jacobson 1993),
+// the discipline the paper's OPNET traffic shaper uses: "a shared queue with
+// Random Early Detection (RED) ... minimum queue size 3 MBit, maximum queue
+// size 9 MBit, and drop probability 10%."
+type RED struct {
+	// MinBytes and MaxBytes are the average-queue thresholds.
+	MinBytes, MaxBytes int
+	// MaxP is the drop probability as the average approaches MaxBytes.
+	MaxP float64
+	// Wq is the EWMA weight for the average queue estimate.
+	Wq float64
+	// HardLimitBytes caps the instantaneous queue (tail drop beyond it).
+	HardLimitBytes int
+
+	rng    *rand.Rand
+	fifo   []*Packet
+	bytes  int
+	avg    float64
+	count  int // packets since last drop, for uniformized drop spacing
+	idleAt time.Duration
+	idle   bool
+	// Drops counts all dropped packets (early + tail).
+	Drops int
+	// EarlyDrops counts probabilistic RED drops only.
+	EarlyDrops int
+}
+
+// PaperRED returns a RED queue with the paper's OPNET parameters: 3 Mbit
+// min, 9 Mbit max, 10% drop probability. The hard limit is twice the max
+// threshold.
+func PaperRED(seed int64) *RED {
+	return NewRED(3_000_000/8, 9_000_000/8, 0.10, seed)
+}
+
+// NewRED returns a RED queue with the given thresholds (bytes) and max drop
+// probability. Wq defaults to 0.002 (the classic recommendation); the hard
+// limit defaults to 2×maxBytes.
+func NewRED(minBytes, maxBytes int, maxP float64, seed int64) *RED {
+	if minBytes <= 0 || maxBytes <= minBytes || maxP <= 0 || maxP > 1 {
+		panic("netsim: invalid RED parameters")
+	}
+	return &RED{
+		MinBytes:       minBytes,
+		MaxBytes:       maxBytes,
+		MaxP:           maxP,
+		Wq:             0.002,
+		HardLimitBytes: 2 * maxBytes,
+		rng:            rand.New(rand.NewSource(seed)),
+		idle:           true,
+	}
+}
+
+// Enqueue implements Queue.
+func (q *RED) Enqueue(p *Packet, now time.Duration) bool {
+	// Update the average queue size. After an idle period the average decays
+	// as if small packets had been draining (approximation: decay toward 0
+	// with the idle time measured in packet transmission slots). The idle
+	// state must persist across *rejected* enqueues — clearing it on a drop
+	// would freeze the average near its peak and blackhole the queue until
+	// enough doomed arrivals nudge it down.
+	if q.idle {
+		slots := float64(now-q.idleAt) / float64(time.Millisecond)
+		if slots > 0 {
+			q.avg *= math.Pow(1-q.Wq, slots)
+		}
+		q.idleAt = now // decay accounted up to now; stay idle until a packet lands
+	}
+	q.avg = q.avg + q.Wq*(float64(q.bytes)-q.avg)
+
+	if q.bytes+p.Bytes > q.HardLimitBytes {
+		q.Drops++
+		q.count = 0
+		return false
+	}
+	switch {
+	case q.avg < float64(q.MinBytes):
+		q.count = -1
+	case q.avg >= float64(q.MaxBytes):
+		q.Drops++
+		q.EarlyDrops++
+		q.count = 0
+		return false
+	default:
+		q.count++
+		pb := q.MaxP * (q.avg - float64(q.MinBytes)) / float64(q.MaxBytes-q.MinBytes)
+		pa := pb / (1 - float64(q.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if q.rng.Float64() < pa {
+			q.Drops++
+			q.EarlyDrops++
+			q.count = 0
+			return false
+		}
+	}
+	q.fifo = append(q.fifo, p)
+	q.bytes += p.Bytes
+	q.idle = false
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue(now time.Duration) *Packet {
+	if len(q.fifo) == 0 {
+		return nil
+	}
+	p := q.fifo[0]
+	q.fifo[0] = nil
+	q.fifo = q.fifo[1:]
+	q.bytes -= p.Bytes
+	if len(q.fifo) == 0 {
+		q.idle = true
+		q.idleAt = now
+	}
+	return p
+}
+
+// Len implements Queue.
+func (q *RED) Len() int { return len(q.fifo) }
+
+// Bytes implements Queue.
+func (q *RED) Bytes() int { return q.bytes }
+
+// AvgBytes returns RED's smoothed queue-size estimate.
+func (q *RED) AvgBytes() float64 { return q.avg }

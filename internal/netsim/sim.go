@@ -1,0 +1,105 @@
+// Package netsim is a discrete-event network simulator, the substitute for
+// the OPNET testbed in the Verus paper's trace-driven evaluation (§6.2) and
+// for the tc-controlled dumbbell of the micro-evaluation (§7).
+//
+// The building blocks mirror the paper's topology: congestion-controlled
+// Sources feed a shared bottleneck (a Queue drained by a Link whose service
+// process is either a fixed rate or a recorded cellular trace); a Sink
+// acknowledges every packet over a delayed return path; and per-flow metrics
+// capture throughput and per-packet delay.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tiebreaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event loop. The zero value is not usable; construct with NewSim.
+// All simulation entities must be driven from a single goroutine.
+type Sim struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+}
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Schedule runs fn at the given absolute simulated time. Times in the past
+// are clamped to now (the event runs next).
+func (s *Sim) Schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.Schedule(s.now+d, fn) }
+
+// Every runs fn every interval, starting one interval from now, until the
+// returned stop function is called.
+func (s *Sim) Every(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("netsim: Every interval must be positive")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			s.After(interval, tick)
+		}
+	}
+	s.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// Run processes events in time order until the queue empties or the next
+// event is beyond `until`, then advances the clock to `until`.
+func (s *Sim) Run(until time.Duration) {
+	for len(s.heap) > 0 && s.heap[0].at <= until {
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if until > s.now {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events (useful in tests).
+func (s *Sim) Pending() int { return len(s.heap) }

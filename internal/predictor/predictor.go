@@ -1,0 +1,186 @@
+// Package predictor implements the simple channel predictors the paper uses
+// in §3 to demonstrate that cellular channels are non-trivial to predict:
+// "linear predictors and k-step ahead predictors fail to track the high
+// variations of the channel."
+//
+// A Predictor consumes a series of observations (e.g. per-window throughput)
+// one at a time and emits a forecast for the next value. Evaluate compares a
+// predictor against a series and reports tracking error, normalized against
+// the series' own variability so "failing to track" is a quantitative
+// statement.
+package predictor
+
+import (
+	"math"
+)
+
+// Predictor forecasts the next value of a series.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Observe feeds the actual value for the step just forecast.
+	Observe(v float64)
+	// Predict returns the forecast for the next value. Before any
+	// observation it returns 0.
+	Predict() float64
+}
+
+// LastValue predicts the most recent observation (the random-walk /
+// persistence forecast — the strongest trivial baseline for short horizons).
+type LastValue struct{ last float64 }
+
+// NewLastValue returns a persistence predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(v float64) { p.last = v }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() float64 { return p.last }
+
+// Linear fits a least-squares line to the last Window observations and
+// extrapolates one step ahead — the paper's "linear predictor".
+type Linear struct {
+	window int
+	buf    []float64
+}
+
+// NewLinear returns a linear predictor over the given window (>= 2).
+func NewLinear(window int) *Linear {
+	if window < 2 {
+		panic("predictor: linear window must be >= 2")
+	}
+	return &Linear{window: window}
+}
+
+// Name implements Predictor.
+func (p *Linear) Name() string { return "linear" }
+
+// Observe implements Predictor.
+func (p *Linear) Observe(v float64) {
+	p.buf = append(p.buf, v)
+	if len(p.buf) > p.window {
+		p.buf = p.buf[len(p.buf)-p.window:]
+	}
+}
+
+// Predict implements Predictor.
+func (p *Linear) Predict() float64 {
+	n := len(p.buf)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return p.buf[0]
+	}
+	// Least squares over x = 0..n-1; forecast at x = n.
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range p.buf {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	fn := float64(n)
+	denom := fn*sumXX - sumX*sumX
+	if denom == 0 {
+		return sumY / fn
+	}
+	slope := (fn*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / fn
+	return intercept + slope*fn
+}
+
+// KStep is the k-step-ahead EWMA predictor: it maintains level and trend
+// estimates (Holt's linear method) and forecasts k steps ahead, then slides
+// forward one step at a time — the paper's "k-step ahead predictor" using
+// the most recent samples.
+type KStep struct {
+	k            int
+	alpha, beta  float64
+	level, trend float64
+	n            int
+}
+
+// NewKStep returns a k-step-ahead predictor with smoothing factors alpha
+// (level) and beta (trend) in (0, 1].
+func NewKStep(k int, alpha, beta float64) *KStep {
+	if k < 1 {
+		panic("predictor: k must be >= 1")
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		panic("predictor: smoothing factors must be in (0,1]")
+	}
+	return &KStep{k: k, alpha: alpha, beta: beta}
+}
+
+// Name implements Predictor.
+func (p *KStep) Name() string { return "k-step" }
+
+// Observe implements Predictor.
+func (p *KStep) Observe(v float64) {
+	if p.n == 0 {
+		p.level = v
+		p.n = 1
+		return
+	}
+	prevLevel := p.level
+	p.level = p.alpha*v + (1-p.alpha)*(p.level+p.trend)
+	p.trend = p.beta*(p.level-prevLevel) + (1-p.beta)*p.trend
+	p.n++
+}
+
+// Predict implements Predictor.
+func (p *KStep) Predict() float64 {
+	return p.level + float64(p.k)*p.trend
+}
+
+// Result reports a predictor's tracking performance on a series.
+type Result struct {
+	Name string
+	// RMSE is the root mean squared one-step prediction error.
+	RMSE float64
+	// NRMSE is RMSE normalized by the series' standard deviation. A
+	// predictor that fails to track the channel has NRMSE close to (or
+	// above) 1: it does no better than always guessing the mean.
+	NRMSE float64
+}
+
+// Evaluate runs the predictor over the series, forecasting each value before
+// observing it, and reports the error. Series shorter than 2 yield a zero
+// Result.
+func Evaluate(p Predictor, series []float64) Result {
+	r := Result{Name: p.Name()}
+	if len(series) < 2 {
+		return r
+	}
+	var sumSq float64
+	var n int
+	for i, v := range series {
+		if i > 0 { // first value has no meaningful forecast
+			e := p.Predict() - v
+			sumSq += e * e
+			n++
+		}
+		p.Observe(v)
+	}
+	r.RMSE = math.Sqrt(sumSq / float64(n))
+
+	var mean, varAcc float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	for _, v := range series {
+		varAcc += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varAcc / float64(len(series)))
+	if std > 0 {
+		r.NRMSE = r.RMSE / std
+	}
+	return r
+}

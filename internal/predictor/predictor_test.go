@@ -1,0 +1,157 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+)
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if p.Predict() != 0 {
+		t.Fatal("unprimed prediction should be 0")
+	}
+	p.Observe(5)
+	if p.Predict() != 5 {
+		t.Fatal("should predict last observation")
+	}
+	p.Observe(7)
+	if p.Predict() != 7 {
+		t.Fatal("should track latest observation")
+	}
+}
+
+func TestLinearTracksALine(t *testing.T) {
+	p := NewLinear(5)
+	for i := 0; i < 10; i++ {
+		p.Observe(2*float64(i) + 1)
+	}
+	// Next value is 2*10+1 = 21.
+	if got := p.Predict(); math.Abs(got-21) > 1e-9 {
+		t.Fatalf("linear forecast = %v, want 21", got)
+	}
+}
+
+func TestLinearFewSamples(t *testing.T) {
+	p := NewLinear(4)
+	if p.Predict() != 0 {
+		t.Fatal("empty linear should predict 0")
+	}
+	p.Observe(3)
+	if p.Predict() != 3 {
+		t.Fatal("single observation should be echoed")
+	}
+}
+
+func TestLinearWindowSlides(t *testing.T) {
+	p := NewLinear(2)
+	p.Observe(100) // will slide out
+	p.Observe(0)
+	p.Observe(1)
+	// Window holds {0,1}: slope 1, forecast 2.
+	if got := p.Predict(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("windowed forecast = %v, want 2", got)
+	}
+}
+
+func TestLinearPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 1 should panic")
+		}
+	}()
+	NewLinear(1)
+}
+
+func TestKStepTracksTrend(t *testing.T) {
+	p := NewKStep(3, 0.9, 0.9)
+	for i := 0; i < 50; i++ {
+		p.Observe(float64(i))
+	}
+	// Level ~49, trend ~1, 3-step forecast ~52.
+	if got := p.Predict(); math.Abs(got-52) > 1 {
+		t.Fatalf("k-step forecast = %v, want ~52", got)
+	}
+}
+
+func TestKStepValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewKStep(0, 0.5, 0.5) },
+		func() { NewKStep(1, 0, 0.5) },
+		func() { NewKStep(1, 0.5, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid KStep params accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestEvaluatePerfectPredictor(t *testing.T) {
+	// On a deterministic line, linear prediction is near-perfect: NRMSE ≈ 0.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	r := Evaluate(NewLinear(10), series)
+	if r.NRMSE > 0.05 {
+		t.Fatalf("linear on a line: NRMSE = %v, want ~0", r.NRMSE)
+	}
+}
+
+func TestEvaluateShortSeries(t *testing.T) {
+	r := Evaluate(NewLastValue(), []float64{1})
+	if r.RMSE != 0 || r.NRMSE != 0 {
+		t.Fatal("short series should yield zero result")
+	}
+}
+
+func TestEvaluateConstantSeries(t *testing.T) {
+	r := Evaluate(NewLastValue(), []float64{5, 5, 5, 5})
+	if r.RMSE > 1e-9 {
+		t.Fatalf("constant series RMSE = %v", r.RMSE)
+	}
+	if r.NRMSE != 0 {
+		t.Fatal("zero-variance series should have NRMSE 0")
+	}
+}
+
+func TestEvaluateWhiteNoiseIsUnpredictable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 2000)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	for _, p := range []Predictor{NewLastValue(), NewLinear(8), NewKStep(1, 0.7, 0.3)} {
+		r := Evaluate(p, series)
+		if r.NRMSE < 0.9 {
+			t.Errorf("%s: NRMSE = %v on white noise, want ~>=1", r.Name, r.NRMSE)
+		}
+	}
+}
+
+// The §3 headline: on real (modeled) cellular throughput at short windows,
+// simple predictors fail to track the channel — their error is comparable to
+// the channel's own variability.
+func TestPredictorsFailOnCellularChannel(t *testing.T) {
+	m := cellular.NewModel(cellular.Config{
+		Tech: cellular.Tech3G, Scenario: cellular.CampusStationary,
+		MeanMbps: 10, Seed: 21,
+	})
+	tr := m.Trace(2 * time.Minute)
+	series := tr.WindowedMbps(20 * time.Millisecond)
+	for _, p := range []Predictor{NewLinear(10), NewKStep(5, 0.8, 0.3)} {
+		r := Evaluate(p, series)
+		if r.NRMSE < 0.6 {
+			t.Errorf("%s: NRMSE = %.3f; the modeled channel is too predictable "+
+				"to support the paper's §3 claim", r.Name, r.NRMSE)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package spline implements natural cubic spline interpolation, the
+// substrate the Verus delay profile is built on. The paper's prototype used
+// the ALGLIB library for the same purpose; this is a from-scratch
+// implementation with identical semantics: interpolate a set of (x, y) knots
+// with a C² piecewise cubic whose second derivative vanishes at the
+// endpoints, and extrapolate linearly beyond the knot range.
+package spline
+
+import (
+	"errors"
+	"sort"
+)
+
+// Spline is an immutable natural cubic spline fitted to a set of knots.
+type Spline struct {
+	xs []float64
+	ys []float64
+	// second derivatives at the knots (natural boundary: m[0]=m[n-1]=0)
+	m []float64
+}
+
+// ErrTooFewPoints is returned when fewer than two distinct x values are
+// provided.
+var ErrTooFewPoints = errors.New("spline: need at least two points with distinct x")
+
+// Fit constructs a natural cubic spline through the given points. The points
+// need not be sorted; duplicate x values are collapsed by averaging their y
+// values. With exactly two distinct points the spline degenerates to a line.
+func Fit(xs, ys []float64) (*Spline, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("spline: xs and ys length mismatch")
+	}
+	x, y := dedupe(xs, ys)
+	n := len(x)
+	if n < 2 {
+		return nil, ErrTooFewPoints
+	}
+	m := make([]float64, n)
+	if n > 2 {
+		solveNatural(x, y, m)
+	}
+	return &Spline{xs: x, ys: y, m: m}, nil
+}
+
+// dedupe sorts points by x and averages the y values of duplicate x.
+func dedupe(xs, ys []float64) (x, y []float64) {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	for i := 0; i < len(pts); {
+		j := i
+		var sum float64
+		for j < len(pts) && pts[j].x == pts[i].x {
+			sum += pts[j].y
+			j++
+		}
+		x = append(x, pts[i].x)
+		y = append(y, sum/float64(j-i))
+		i = j
+	}
+	return x, y
+}
+
+// solveNatural fills m with the second derivatives of the natural cubic
+// spline through (x, y) via the standard tridiagonal (Thomas) solve.
+func solveNatural(x, y, m []float64) {
+	n := len(x)
+	// Subdiagonal a, diagonal b, superdiagonal c, rhs d — for interior knots.
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		h0 := x[i] - x[i-1]
+		h1 := x[i+1] - x[i]
+		a[i] = h0
+		b[i] = 2 * (h0 + h1)
+		c[i] = h1
+		d[i] = 6 * ((y[i+1]-y[i])/h1 - (y[i]-y[i-1])/h0)
+	}
+	// Forward elimination over i = 1..n-2 with natural boundaries m[0]=m[n-1]=0.
+	for i := 2; i < n-1; i++ {
+		w := a[i] / b[i-1]
+		b[i] -= w * c[i-1]
+		d[i] -= w * d[i-1]
+	}
+	// Back substitution.
+	for i := n - 2; i >= 1; i-- {
+		m[i] = (d[i] - c[i]*m[i+1]) / b[i]
+	}
+}
+
+// MinX returns the smallest knot x.
+func (s *Spline) MinX() float64 { return s.xs[0] }
+
+// MaxX returns the largest knot x.
+func (s *Spline) MaxX() float64 { return s.xs[len(s.xs)-1] }
+
+// NumKnots returns the number of distinct knots.
+func (s *Spline) NumKnots() int { return len(s.xs) }
+
+// Eval evaluates the spline at x. Outside [MinX, MaxX] the spline is
+// extended linearly with the slope at the nearest endpoint.
+func (s *Spline) Eval(x float64) float64 {
+	n := len(s.xs)
+	if x <= s.xs[0] {
+		return s.ys[0] + s.slopeAt(0)*(x-s.xs[0])
+	}
+	if x >= s.xs[n-1] {
+		return s.ys[n-1] + s.slopeAt(n-1)*(x-s.xs[n-1])
+	}
+	// Find segment i with xs[i] <= x < xs[i+1].
+	i := sort.SearchFloat64s(s.xs, x)
+	if i > 0 && (i == n || s.xs[i] > x) {
+		i--
+	}
+	h := s.xs[i+1] - s.xs[i]
+	t := (x - s.xs[i]) / h
+	// Cubic Hermite form from second derivatives.
+	a := s.ys[i]
+	bcoef := (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.m[i]+s.m[i+1])
+	ccoef := s.m[i] / 2
+	dcoef := (s.m[i+1] - s.m[i]) / (6 * h)
+	dx := t * h
+	return a + dx*(bcoef+dx*(ccoef+dx*dcoef))
+}
+
+// slopeAt returns the first derivative of the spline at knot i, used for
+// linear extrapolation.
+func (s *Spline) slopeAt(i int) float64 {
+	n := len(s.xs)
+	if n == 2 {
+		return (s.ys[1] - s.ys[0]) / (s.xs[1] - s.xs[0])
+	}
+	if i == 0 {
+		h := s.xs[1] - s.xs[0]
+		return (s.ys[1]-s.ys[0])/h - h/6*(2*s.m[0]+s.m[1])
+	}
+	if i == n-1 {
+		h := s.xs[n-1] - s.xs[n-2]
+		return (s.ys[n-1]-s.ys[n-2])/h + h/6*(s.m[n-2]+2*s.m[n-1])
+	}
+	h := s.xs[i+1] - s.xs[i]
+	return (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.m[i]+s.m[i+1])
+}
+
+// InverseMax returns the largest x in [lo, hi] (scanned on a grid of `steps`
+// points) whose spline value does not exceed y. This is the delay-profile
+// lookup: the profile maps sending window → delay, and Verus needs the
+// largest window whose predicted delay stays within the target. If even the
+// value at lo exceeds y, it returns lo; ok reports whether any grid point
+// satisfied the bound.
+func (s *Spline) InverseMax(y, lo, hi float64, steps int) (x float64, ok bool) {
+	if steps < 2 {
+		steps = 2
+	}
+	best := lo
+	found := false
+	step := (hi - lo) / float64(steps-1)
+	for k := 0; k < steps; k++ {
+		xk := lo + float64(k)*step
+		if s.Eval(xk) <= y {
+			best = xk
+			found = true
+		}
+	}
+	return best, found
+}

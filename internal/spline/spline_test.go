@@ -1,0 +1,247 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([]float64{1}, []float64{2}); err != ErrTooFewPoints {
+		t.Errorf("single point: got %v, want ErrTooFewPoints", err)
+	}
+	if _, err := Fit([]float64{1, 1, 1}, []float64{2, 4, 6}); err != ErrTooFewPoints {
+		t.Errorf("all-duplicate x: got %v, want ErrTooFewPoints", err)
+	}
+}
+
+func TestTwoPointLine(t *testing.T) {
+	s, err := Fit([]float64{0, 10}, []float64{0, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -5.0; x <= 15; x += 0.5 {
+		if got, want := s.Eval(x), 2*x; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestInterpolatesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2.5, 4, 7, 11}
+	ys := []float64{3, -1, 4, 4, 0, 8}
+	s, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := s.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestDuplicateXAveraged(t *testing.T) {
+	s, err := Fit([]float64{0, 1, 1, 2}, []float64{0, 2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Eval(1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("duplicate x should average: Eval(1) = %v, want 3", got)
+	}
+	if s.NumKnots() != 3 {
+		t.Fatalf("NumKnots = %d, want 3", s.NumKnots())
+	}
+}
+
+func TestUnsortedInput(t *testing.T) {
+	s1, err := Fit([]float64{3, 1, 2}, []float64{9, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Fit([]float64{1, 2, 3}, []float64{1, 4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1.0; x <= 3; x += 0.1 {
+		if math.Abs(s1.Eval(x)-s2.Eval(x)) > 1e-12 {
+			t.Fatalf("order-dependence at x=%v", x)
+		}
+	}
+}
+
+func TestLinearDataStaysLinear(t *testing.T) {
+	// A natural cubic spline through collinear points is that line.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 1
+	}
+	s, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -2.0; x <= 7; x += 0.25 {
+		if got, want := s.Eval(x), 3*x+1; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestExtrapolationIsLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 8, 27}
+	s, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond MaxX, second differences must vanish (linear growth).
+	d1 := s.Eval(5) - s.Eval(4)
+	d2 := s.Eval(6) - s.Eval(5)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("right extrapolation not linear: %v vs %v", d1, d2)
+	}
+	d1 = s.Eval(-1) - s.Eval(-2)
+	d2 = s.Eval(0) - s.Eval(-1)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("left extrapolation not linear: %v vs %v", d1, d2)
+	}
+}
+
+func TestContinuityAtKnots(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		xs[i] = float64(i) + rng.Float64()*0.5
+		ys[i] = rng.NormFloat64() * 10
+	}
+	s, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-7
+	for i := 1; i < len(xs)-1; i++ {
+		left := s.Eval(xs[i] - h)
+		right := s.Eval(xs[i] + h)
+		if math.Abs(left-right) > 1e-4 {
+			t.Fatalf("discontinuity at knot %d: %v vs %v", i, left, right)
+		}
+		// First derivative continuity.
+		dl := (s.Eval(xs[i]) - s.Eval(xs[i]-h)) / h
+		dr := (s.Eval(xs[i]+h) - s.Eval(xs[i])) / h
+		if math.Abs(dl-dr) > 1e-2*(1+math.Abs(dl)) {
+			t.Fatalf("derivative jump at knot %d: %v vs %v", i, dl, dr)
+		}
+	}
+}
+
+// Property: the spline always passes through its knots, regardless of input.
+func TestQuickKnotInterpolation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + int(n)%30
+		xs := make([]float64, k)
+		ys := make([]float64, k)
+		x := 0.0
+		for i := range xs {
+			x += 0.1 + rng.Float64()*5
+			xs[i] = x
+			ys[i] = rng.NormFloat64() * 100
+		}
+		s, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(s.Eval(xs[i])-ys[i]) > 1e-6*(1+math.Abs(ys[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseMaxMonotoneCurve(t *testing.T) {
+	// Increasing delay profile: delay = w^1.5 over w in [1, 100].
+	var xs, ys []float64
+	for w := 1.0; w <= 100; w++ {
+		xs = append(xs, w)
+		ys = append(ys, math.Pow(w, 1.5))
+	}
+	s, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest w with w^1.5 <= 125 is 25.
+	x, ok := s.InverseMax(125, 1, 100, 400)
+	if !ok {
+		t.Fatal("expected a feasible window")
+	}
+	if math.Abs(x-25) > 1 {
+		t.Fatalf("InverseMax = %v, want ~25", x)
+	}
+}
+
+func TestInverseMaxInfeasible(t *testing.T) {
+	s, err := Fit([]float64{1, 10}, []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := s.InverseMax(50, 1, 10, 50)
+	if ok {
+		t.Fatal("no window should satisfy delay <= 50")
+	}
+	if x != 1 {
+		t.Fatalf("infeasible lookup should return lo, got %v", x)
+	}
+}
+
+func TestInverseMaxStepsClamped(t *testing.T) {
+	s, err := Fit([]float64{0, 10}, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := s.InverseMax(10, 0, 10, 1) // steps < 2 clamps to 2
+	if !ok || x != 10 {
+		t.Fatalf("got (%v,%v), want (10,true)", x, ok)
+	}
+}
+
+// Property: InverseMax result never exceeds hi, never undershoots lo, and the
+// spline value at the result respects the bound when ok.
+func TestQuickInverseMaxRespectsBound(t *testing.T) {
+	f := func(seed int64, target float64) bool {
+		if math.IsNaN(target) || math.IsInf(target, 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := []float64{0, 5, 10, 15, 20}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = rng.Float64() * 50
+		}
+		s, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		x, ok := s.InverseMax(target, 0, 20, 100)
+		if x < 0 || x > 20 {
+			return false
+		}
+		if ok && s.Eval(x) > target+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

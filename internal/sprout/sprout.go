@@ -1,0 +1,399 @@
+// Package sprout implements a stochastic-forecast congestion controller in
+// the style of Sprout (Winstein, Sivaraman, Balakrishnan, NSDI 2013), the
+// state-of-the-art cellular protocol the Verus paper compares against.
+//
+// The original Sprout models the cellular link as a Poisson packet-delivery
+// process whose rate λ evolves by Brownian motion, maintains a discretized
+// Bayesian belief over λ updated every 20 ms tick, and sends only as many
+// packets as the *cautious* (5th-percentile) forecast of cumulative
+// deliveries over the next several ticks allows. That caution is exactly
+// what the Verus paper exploits: under rapidly changing conditions Sprout's
+// conservative forecasts under-utilize the channel (paper Fig. 11), while
+// its delay stays low (paper Fig. 8).
+//
+// This implementation reproduces that mechanism end-to-end — discretized
+// belief, Brownian diffusion with occasional escapes, Poisson observation
+// updates, percentile forecasts — driven by acknowledgement arrivals at the
+// sender (the "sendonly" Sprout variant the paper uses). The forecast rate
+// is capped at 18 Mbps by default, mirroring the implementation cap the
+// paper reports ("the Sprout implementation bandwidth is capped at
+// 18 Mbps"), which is what makes Scenario I of Fig. 11 behave as published.
+package sprout
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// Config parameterizes the forecaster.
+type Config struct {
+	// Tick is the belief-update interval (20 ms in Sprout).
+	Tick time.Duration
+	// HorizonTicks is how many ticks ahead the delivery forecast extends
+	// (Sprout forecasts ~100 ms; 5 ticks of 20 ms).
+	HorizonTicks int
+	// Percentile is the cautious quantile of the belief used for
+	// forecasting (Sprout uses the 5th percentile).
+	Percentile float64
+	// MaxRateMbps caps the modeled link rate (the 18 Mbps implementation
+	// cap). Packets above this rate are simply never forecast.
+	MaxRateMbps float64
+	// PacketBytes converts rates to packets.
+	PacketBytes int
+	// Bins is the resolution of the discretized belief.
+	Bins int
+	// SigmaMbpsPerSqrtSec is the Brownian-motion volatility of the link
+	// rate.
+	SigmaMbpsPerSqrtSec float64
+	// EscapeProb is the per-tick probability mass spread uniformly to model
+	// sudden rate jumps (Sprout's "escape" process).
+	EscapeProb float64
+}
+
+// DefaultConfig returns parameters matching the published Sprout design.
+func DefaultConfig() Config {
+	return Config{
+		Tick:                20 * time.Millisecond,
+		HorizonTicks:        5,
+		Percentile:          5,
+		MaxRateMbps:         18,
+		PacketBytes:         1400,
+		Bins:                128,
+		SigmaMbpsPerSqrtSec: 5,
+		EscapeProb:          0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Tick <= 0:
+		return errf("tick must be positive")
+	case c.HorizonTicks < 1:
+		return errf("horizon must be >= 1 tick")
+	case c.Percentile <= 0 || c.Percentile >= 100:
+		return errf("percentile must be in (0,100)")
+	case c.MaxRateMbps <= 0:
+		return errf("max rate must be positive")
+	case c.PacketBytes <= 0:
+		return errf("packet size must be positive")
+	case c.Bins < 8:
+		return errf("need at least 8 belief bins")
+	case c.SigmaMbpsPerSqrtSec <= 0:
+		return errf("volatility must be positive")
+	case c.EscapeProb < 0 || c.EscapeProb >= 1:
+		return errf("escape probability must be in [0,1)")
+	}
+	return nil
+}
+
+type configError string
+
+func (e configError) Error() string { return "sprout: " + string(e) }
+
+func errf(s string) error { return configError(s) }
+
+// Sprout is the controller state. It implements cc.Controller.
+type Sprout struct {
+	cfg Config
+
+	// belief[i] is the probability that the link delivers lambda(i)
+	// packets per tick.
+	belief []float64
+	// scratch buffer for diffusion.
+	next []float64
+	// lambdaStep is packets-per-tick per bin.
+	lambdaStep float64
+	// sigmaBins is the per-tick diffusion stddev in bins.
+	sigmaBins float64
+
+	arrivals int // acks observed in the current tick
+	window   int // cautious cumulative forecast, in packets
+
+	// Saturation detection: when RTTs sit near the minimum the link was not
+	// the constraint, so an arrival count only lower-bounds λ (censored
+	// observation). The receiver-side original knows idle time directly;
+	// sender-side, queueing delay is the signal.
+	rttMin     time.Duration
+	rttSumTick time.Duration
+	rttCntTick int
+	srtt       time.Duration
+
+	ticks int64
+}
+
+var _ cc.Controller = (*Sprout)(nil)
+
+// New returns a Sprout controller; it panics on an invalid config.
+func New(cfg Config) *Sprout {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	maxPktPerTick := cfg.MaxRateMbps * 1e6 / 8 / float64(cfg.PacketBytes) * cfg.Tick.Seconds()
+	s := &Sprout{
+		cfg:        cfg,
+		belief:     make([]float64, cfg.Bins),
+		next:       make([]float64, cfg.Bins),
+		lambdaStep: maxPktPerTick / float64(cfg.Bins-1),
+	}
+	sigmaPkts := cfg.SigmaMbpsPerSqrtSec * 1e6 / 8 / float64(cfg.PacketBytes) *
+		cfg.Tick.Seconds() * math.Sqrt(cfg.Tick.Seconds())
+	s.sigmaBins = sigmaPkts / s.lambdaStep
+	if s.sigmaBins < 0.5 {
+		s.sigmaBins = 0.5
+	}
+	s.resetBelief()
+	// A modest initial window lets the first ticks gather observations.
+	s.window = 4
+	return s
+}
+
+func (s *Sprout) resetBelief() {
+	u := 1 / float64(len(s.belief))
+	for i := range s.belief {
+		s.belief[i] = u
+	}
+}
+
+// lambda returns the packets-per-tick value of bin i.
+func (s *Sprout) lambda(i int) float64 { return float64(i) * s.lambdaStep }
+
+// Name implements cc.Controller.
+func (s *Sprout) Name() string { return "sprout" }
+
+// TickInterval implements cc.Controller.
+func (s *Sprout) TickInterval() time.Duration { return s.cfg.Tick }
+
+// OnAck implements cc.Controller: each acknowledgement is one observed
+// delivery for the current tick's Poisson update.
+func (s *Sprout) OnAck(now time.Duration, ack cc.AckSample) {
+	s.arrivals++
+	if ack.RTT > 0 {
+		if s.rttMin == 0 || ack.RTT < s.rttMin {
+			s.rttMin = ack.RTT
+		}
+		s.rttSumTick += ack.RTT
+		s.rttCntTick++
+		if s.srtt == 0 {
+			s.srtt = ack.RTT
+		} else {
+			s.srtt = (7*s.srtt + ack.RTT) / 8
+		}
+	}
+}
+
+// saturatedTick reports whether the just-finished tick's RTTs show queueing,
+// i.e. deliveries were limited by the link rather than by our own window.
+func (s *Sprout) saturatedTick() bool {
+	if s.rttCntTick == 0 || s.rttMin == 0 {
+		return false
+	}
+	avg := s.rttSumTick / time.Duration(s.rttCntTick)
+	slack := s.rttMin / 5
+	if slack < 2*time.Millisecond {
+		slack = 2 * time.Millisecond
+	}
+	return avg > s.rttMin+slack
+}
+
+// OnLoss implements cc.Controller. Sprout is not loss-driven; stochastic
+// losses are absorbed by the delivery model.
+func (s *Sprout) OnLoss(time.Duration, cc.LossEvent) {}
+
+// OnTimeout implements cc.Controller: a total stall invalidates the belief.
+func (s *Sprout) OnTimeout(time.Duration) {
+	s.resetBelief()
+	s.window = 1
+}
+
+// Tick implements cc.Controller: evolve, observe, forecast.
+func (s *Sprout) Tick(now time.Duration) {
+	s.ticks++
+	s.diffuse(s.belief)
+	s.observe(s.arrivals, s.saturatedTick())
+	s.arrivals = 0
+	s.rttSumTick, s.rttCntTick = 0, 0
+	s.window = s.forecast()
+}
+
+// diffuse applies one tick of Brownian evolution plus the escape process to
+// the given distribution in place.
+func (s *Sprout) diffuse(dist []float64) {
+	n := len(dist)
+	for i := range s.next {
+		s.next[i] = 0
+	}
+	// Gaussian kernel truncated at 3σ.
+	radius := int(3*s.sigmaBins) + 1
+	var kernel []float64
+	var ksum float64
+	for k := -radius; k <= radius; k++ {
+		w := math.Exp(-float64(k) * float64(k) / (2 * s.sigmaBins * s.sigmaBins))
+		kernel = append(kernel, w)
+		ksum += w
+	}
+	for i, p := range dist {
+		if p == 0 {
+			continue
+		}
+		for k := -radius; k <= radius; k++ {
+			j := i + k
+			if j < 0 {
+				j = 0 // reflect mass at the boundaries
+			}
+			if j >= n {
+				j = n - 1
+			}
+			s.next[j] += p * kernel[k+radius] / ksum
+		}
+	}
+	esc := s.cfg.EscapeProb
+	u := esc / float64(n)
+	var total float64
+	for i := range dist {
+		dist[i] = s.next[i]*(1-esc) + u
+		total += dist[i]
+	}
+	for i := range dist {
+		dist[i] /= total
+	}
+}
+
+// observe folds the tick's arrival count into the belief. When the link was
+// saturated, k arrivals is an exact Poisson observation of λ. Otherwise the
+// observation is censored: the link delivered everything offered, so k only
+// lower-bounds capacity and the likelihood is the survival P(Poisson(λ) ≥ k).
+// Without this distinction the sender's own small window would masquerade as
+// evidence of a slow link and the forecast could never grow.
+func (s *Sprout) observe(k int, saturated bool) {
+	var total float64
+	if saturated {
+		lgk, _ := math.Lgamma(float64(k) + 1)
+		for i := range s.belief {
+			lam := s.lambda(i)
+			var like float64
+			if lam <= 0 {
+				if k == 0 {
+					like = 1
+				} else {
+					like = 1e-12
+				}
+			} else {
+				like = math.Exp(float64(k)*math.Log(lam) - lam - lgk)
+			}
+			s.belief[i] *= like
+			total += s.belief[i]
+		}
+	} else {
+		for i := range s.belief {
+			like := poissonSurvival(s.lambda(i), k)
+			s.belief[i] *= like
+			total += s.belief[i]
+		}
+	}
+	if total <= 0 || math.IsNaN(total) {
+		s.resetBelief()
+		return
+	}
+	for i := range s.belief {
+		s.belief[i] /= total
+	}
+}
+
+// poissonSurvival returns P(Poisson(lam) >= k).
+func poissonSurvival(lam float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lam <= 0 {
+		return 1e-12
+	}
+	// 1 - CDF(k-1), computed with an iterative pmf.
+	pmf := math.Exp(-lam)
+	cdf := pmf
+	for j := 1; j < k; j++ {
+		pmf *= lam / float64(j)
+		cdf += pmf
+	}
+	surv := 1 - cdf
+	if surv < 1e-12 {
+		surv = 1e-12
+	}
+	return surv
+}
+
+// forecast returns the cautious cumulative delivery forecast. The in-flight
+// budget covers one RTT's worth of cautious deliveries (the amount the pipe
+// holds), bounded above by the delay-control horizon: Sprout's contract is
+// that everything in flight drains within ~HorizonTicks with high
+// probability, so at short RTTs the window must not grow past what one RTT
+// clears — otherwise the sender's rate (window/RTT) would blow through the
+// modeled rate cap.
+func (s *Sprout) forecast() int {
+	// Effective horizon in (possibly fractional) ticks: one RTT's worth of
+	// deliveries, never more than the delay-control horizon.
+	eff := float64(s.cfg.HorizonTicks)
+	if s.srtt > 0 {
+		if rttTicks := s.srtt.Seconds() / s.cfg.Tick.Seconds(); rttTicks < eff {
+			eff = rttTicks
+		}
+	}
+	dist := make([]float64, len(s.belief))
+	copy(dist, s.belief)
+	var cum float64
+	for h := 0; eff > 0; h++ {
+		s.diffuse(dist)
+		p := s.percentileLambda(dist, s.cfg.Percentile)
+		if eff >= 1 {
+			cum += p
+			eff--
+		} else {
+			cum += p * eff
+			eff = 0
+		}
+	}
+	w := int(cum)
+	if w < 1 {
+		w = 1 // always keep probing minimally
+	}
+	return w
+}
+
+// percentileLambda returns the p-th percentile of λ under dist.
+func (s *Sprout) percentileLambda(dist []float64, p float64) float64 {
+	target := p / 100
+	var acc float64
+	for i, q := range dist {
+		acc += q
+		if acc >= target {
+			return s.lambda(i)
+		}
+	}
+	return s.lambda(len(dist) - 1)
+}
+
+// Allowance implements cc.Controller.
+func (s *Sprout) Allowance(_ time.Duration, inflight int) int {
+	return s.window - inflight
+}
+
+// SendTag implements cc.Controller.
+func (s *Sprout) SendTag() int { return s.window }
+
+// OnSend implements cc.Controller.
+func (s *Sprout) OnSend(time.Duration, int64, int) {}
+
+// Window returns the current cautious forecast window in packets.
+func (s *Sprout) Window() int { return s.window }
+
+// BeliefMeanMbps returns the mean of the rate belief in Mbps, for
+// instrumentation.
+func (s *Sprout) BeliefMeanMbps() float64 {
+	var mean float64
+	for i, p := range s.belief {
+		mean += s.lambda(i) * p
+	}
+	return mean * float64(s.cfg.PacketBytes) * 8 / s.cfg.Tick.Seconds() / 1e6
+}

@@ -1,0 +1,177 @@
+package sprout
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Tick = 0 },
+		func(c *Config) { c.HorizonTicks = 0 },
+		func(c *Config) { c.Percentile = 0 },
+		func(c *Config) { c.Percentile = 100 },
+		func(c *Config) { c.MaxRateMbps = 0 },
+		func(c *Config) { c.PacketBytes = 0 },
+		func(c *Config) { c.Bins = 4 },
+		func(c *Config) { c.SigmaMbpsPerSqrtSec = 0 },
+		func(c *Config) { c.EscapeProb = 1 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBeliefNormalized(t *testing.T) {
+	s := New(DefaultConfig())
+	for tick := 0; tick < 100; tick++ {
+		for i := 0; i < tick%7; i++ {
+			s.OnAck(0, cc.AckSample{})
+		}
+		s.Tick(0)
+		var total float64
+		for _, p := range s.belief {
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("belief sums to %v at tick %d", total, tick)
+		}
+	}
+}
+
+// saturatedAcks feeds n acks whose RTTs indicate queueing (so the Poisson
+// update is exact, not censored).
+func saturatedAcks(s *Sprout, n int) {
+	for i := 0; i < n; i++ {
+		s.OnAck(0, cc.AckSample{RTT: 60 * time.Millisecond})
+	}
+}
+
+func TestBeliefTracksArrivalRate(t *testing.T) {
+	s := New(DefaultConfig())
+	s.OnAck(0, cc.AckSample{RTT: 20 * time.Millisecond}) // establishes rttMin
+	s.Tick(0)
+	// 10 packets per 20 ms tick of 1400 B = 5.6 Mbps, with queueing RTTs.
+	for tick := 0; tick < 200; tick++ {
+		saturatedAcks(s, 10)
+		s.Tick(0)
+	}
+	got := s.BeliefMeanMbps()
+	if math.Abs(got-5.6) > 2 {
+		t.Fatalf("belief mean = %.2f Mbps, want ≈5.6", got)
+	}
+}
+
+func TestForecastCautious(t *testing.T) {
+	s := New(DefaultConfig())
+	s.OnAck(0, cc.AckSample{RTT: 20 * time.Millisecond})
+	s.Tick(0)
+	for tick := 0; tick < 200; tick++ {
+		saturatedAcks(s, 10)
+		s.Tick(0)
+	}
+	// 5-tick horizon at ~10 pkt/tick would be 50 if we used the mean; the
+	// 5th-percentile forecast must be meaningfully below that.
+	if s.Window() >= 50 {
+		t.Fatalf("window = %d; forecast not cautious", s.Window())
+	}
+	if s.Window() < 5 {
+		t.Fatalf("window = %d; forecast collapsed", s.Window())
+	}
+}
+
+func TestWindowNeverBelowOne(t *testing.T) {
+	s := New(DefaultConfig())
+	for tick := 0; tick < 100; tick++ {
+		s.Tick(0) // zero arrivals throughout
+	}
+	if s.Window() < 1 {
+		t.Fatalf("window = %d; must keep probing", s.Window())
+	}
+}
+
+func TestTimeoutResetsBelief(t *testing.T) {
+	s := New(DefaultConfig())
+	s.OnAck(0, cc.AckSample{RTT: 20 * time.Millisecond})
+	s.Tick(0)
+	for tick := 0; tick < 100; tick++ {
+		saturatedAcks(s, 20)
+		s.Tick(0)
+	}
+	before := s.BeliefMeanMbps()
+	s.OnTimeout(0)
+	after := s.BeliefMeanMbps()
+	if after >= before {
+		t.Fatalf("belief mean %v -> %v; reset should spread it to uniform", before, after)
+	}
+	if s.Window() != 1 {
+		t.Fatalf("window after timeout = %d, want 1", s.Window())
+	}
+}
+
+func TestRateCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	// Hammer with 100 packets per tick (56 Mbps — far above the cap).
+	s.OnAck(0, cc.AckSample{RTT: 20 * time.Millisecond})
+	s.Tick(0)
+	for tick := 0; tick < 300; tick++ {
+		saturatedAcks(s, 100)
+		s.Tick(0)
+	}
+	capPktPerTick := cfg.MaxRateMbps * 1e6 / 8 / float64(cfg.PacketBytes) * cfg.Tick.Seconds()
+	maxWindow := int(capPktPerTick)*cfg.HorizonTicks + 1
+	if s.Window() > maxWindow {
+		t.Fatalf("window %d exceeds the 18 Mbps cap (max %d)", s.Window(), maxWindow)
+	}
+	// The belief mean must saturate near the cap, not beyond it.
+	if got := s.BeliefMeanMbps(); got > cfg.MaxRateMbps+1 {
+		t.Fatalf("belief mean %.1f Mbps beyond cap", got)
+	}
+}
+
+func TestSproutOnStableLink(t *testing.T) {
+	sim := netsim.NewSim()
+	s := New(DefaultConfig())
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		return netsim.NewFixedLink(sim, netsim.NewDropTail(1_000_000), 8, 10*time.Millisecond, dst, 1)
+	}, 1400, []netsim.FlowSpec{{Ctrl: s, AckDelay: 10 * time.Millisecond}})
+	d.Run(30 * time.Second)
+	m := d.Metrics[0]
+	tput := m.MeanMbps(30 * time.Second)
+	if tput < 3 {
+		t.Errorf("sprout throughput = %.2f Mbps on 8 Mbps link", tput)
+	}
+	if p95 := m.Delay.Percentile(95); p95 > 0.2 {
+		t.Errorf("sprout p95 delay = %.0f ms; should stay low", p95*1000)
+	}
+}
+
+// The paper's Fig. 11 mechanism: when capacity jumps far above the cap,
+// Sprout cannot use it.
+func TestSproutMissesCapacityAboveCap(t *testing.T) {
+	sim := netsim.NewSim()
+	s := New(DefaultConfig())
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		return netsim.NewFixedLink(sim, netsim.NewDropTail(5_000_000), 100, 5*time.Millisecond, dst, 1)
+	}, 1400, []netsim.FlowSpec{{Ctrl: s, AckDelay: 5 * time.Millisecond}})
+	d.Run(20 * time.Second)
+	tput := d.Metrics[0].MeanMbps(20 * time.Second)
+	if tput > 20 {
+		t.Fatalf("sprout delivered %.1f Mbps; the 18 Mbps cap should bind", tput)
+	}
+	if tput < 5 {
+		t.Fatalf("sprout delivered %.1f Mbps; should at least approach the cap", tput)
+	}
+}

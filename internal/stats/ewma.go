@@ -1,0 +1,51 @@
+// Package stats provides the statistical primitives used throughout the
+// repository: exponentially weighted moving averages, running summaries,
+// log-binned probability densities, windowed throughput series, and Jain's
+// fairness index.
+//
+// All types are plain values with no hidden goroutines; they are safe for use
+// from a single goroutine (the simulator event loop or a transport's ack
+// loop). Wrap them in a mutex if shared.
+package stats
+
+// EWMA is an exponentially weighted moving average
+//
+//	v' = alpha*v + (1-alpha)*sample
+//
+// matching the form used in the Verus paper (Eq. 2), where alpha close to 1
+// weights history heavily. The zero value is not ready for use; construct
+// with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	set   bool
+}
+
+// NewEWMA returns an EWMA with the given history weight alpha in (0, 1].
+// The first observed sample initializes the average directly.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds sample into the average and returns the new value.
+func (e *EWMA) Update(sample float64) float64 {
+	if !e.set {
+		e.value = sample
+		e.set = true
+		return e.value
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*sample
+	return e.value
+}
+
+// Value returns the current average, or 0 if no samples have been observed.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one sample has been observed.
+func (e *EWMA) Initialized() bool { return e.set }
+
+// Reset discards all history.
+func (e *EWMA) Reset() { e.value, e.set = 0, false }

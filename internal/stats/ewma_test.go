@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAFirstSampleInitializes(t *testing.T) {
+	e := NewEWMA(0.9)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA reports initialized")
+	}
+	got := e.Update(42)
+	if got != 42 {
+		t.Fatalf("first sample: got %v, want 42", got)
+	}
+	if !e.Initialized() {
+		t.Fatal("EWMA not initialized after first sample")
+	}
+}
+
+func TestEWMAWeighting(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(0)
+	got := e.Update(10)
+	if got != 5 {
+		t.Fatalf("alpha=0.5 blend of 0 and 10: got %v, want 5", got)
+	}
+	got = e.Update(5)
+	if got != 5 {
+		t.Fatalf("steady state: got %v, want 5", got)
+	}
+}
+
+func TestEWMAAlphaOneFreezesValue(t *testing.T) {
+	e := NewEWMA(1)
+	e.Update(7)
+	e.Update(100)
+	e.Update(-3)
+	if e.Value() != 7 {
+		t.Fatalf("alpha=1 should keep first sample, got %v", e.Value())
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(3)
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if got := e.Update(9); got != 9 {
+		t.Fatalf("after reset first sample should initialize, got %v", got)
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+// Property: the EWMA always stays within the range of observed samples.
+func TestEWMABoundedByObservedRange(t *testing.T) {
+	f := func(alphaSeed uint8, samples []float64) bool {
+		alpha := 0.01 + float64(alphaSeed)/256*0.98
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+			v := e.Update(s)
+			if v < lo-1e-9*(1+math.Abs(lo)) || v > hi+1e-9*(1+math.Abs(hi)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with constant input the EWMA converges to that input.
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.875)
+	for i := 0; i < 500; i++ {
+		e.Update(3.25)
+	}
+	if math.Abs(e.Value()-3.25) > 1e-9 {
+		t.Fatalf("did not converge: %v", e.Value())
+	}
+}

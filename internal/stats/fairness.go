@@ -1,0 +1,67 @@
+package stats
+
+// JainIndex computes Jain's fairness index (paper Eq. 7)
+//
+//	f(x1..xn) = (Σ xi)² / (n · Σ xi²)
+//
+// over the given allocations. The result is in [1/n, 1]; 1 is perfect
+// fairness. With no allocations, or when every allocation is zero, it
+// returns 1 (an idle system is trivially fair).
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+// WindowedJain computes Jain's index over consecutive windows and returns the
+// average of the per-window indices, the method used for Table 1 of the
+// paper: "We compute Jain's fairness index over windows of one second and
+// average these one second fairness values."
+//
+// series[i][w] is flow i's throughput in window w. Rows may have different
+// lengths; each window uses the flows that have a sample for it. Windows in
+// which every flow is zero are skipped.
+func WindowedJain(series [][]float64) float64 {
+	maxW := 0
+	for _, row := range series {
+		if len(row) > maxW {
+			maxW = len(row)
+		}
+	}
+	if maxW == 0 {
+		return 1
+	}
+	var total float64
+	var count int
+	window := make([]float64, 0, len(series))
+	for w := 0; w < maxW; w++ {
+		window = window[:0]
+		anyNonzero := false
+		for _, row := range series {
+			if w < len(row) {
+				window = append(window, row[w])
+				if row[w] != 0 {
+					anyNonzero = true
+				}
+			}
+		}
+		if !anyNonzero {
+			continue
+		}
+		total += JainIndex(window)
+		count++
+	}
+	if count == 0 {
+		return 1
+	}
+	return total / float64(count)
+}

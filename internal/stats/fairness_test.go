@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainPerfectFairness(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocations: got %v, want 1", got)
+	}
+}
+
+func TestJainWorstCase(t *testing.T) {
+	// One user hogs everything: index = 1/n.
+	got := JainIndex([]float64{10, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single hog of 4: got %v, want 0.25", got)
+	}
+}
+
+func TestJainKnownValue(t *testing.T) {
+	// (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+	got := JainIndex([]float64{1, 2, 3})
+	want := 36.0 / 42.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJainDegenerate(t *testing.T) {
+	if JainIndex(nil) != 1 {
+		t.Error("empty allocation should be 1")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Error("all-zero allocation should be 1")
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] and is scale-invariant.
+func TestJainBoundsAndScaleInvariance(t *testing.T) {
+	f := func(raw []float64, scaleSeed uint8) bool {
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes where v*v and their sum stay finite.
+			if a := math.Abs(v); a < 1e150 {
+				x = append(x, a)
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		idx := JainIndex(x)
+		n := float64(len(x))
+		if idx < 1/n-1e-9 || idx > 1+1e-9 {
+			return false
+		}
+		scale := 1 + float64(scaleSeed)
+		scaled := make([]float64, len(x))
+		allFinite := true
+		for i, v := range x {
+			scaled[i] = v * scale
+			if math.IsInf(scaled[i], 0) {
+				allFinite = false
+			}
+		}
+		if !allFinite {
+			return true
+		}
+		idx2 := JainIndex(scaled)
+		return math.Abs(idx-idx2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedJain(t *testing.T) {
+	// Two flows, perfectly fair in window 0, totally unfair in window 1.
+	series := [][]float64{
+		{1, 2},
+		{1, 0},
+	}
+	got := WindowedJain(series)
+	want := (1.0 + 0.5) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestWindowedJainSkipsIdleWindows(t *testing.T) {
+	series := [][]float64{
+		{0, 4},
+		{0, 4},
+	}
+	if got := WindowedJain(series); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("idle window should be skipped: got %v", got)
+	}
+}
+
+func TestWindowedJainRaggedRows(t *testing.T) {
+	series := [][]float64{
+		{2, 2, 2},
+		{2},
+	}
+	// Window 0: {2,2} -> 1. Windows 1,2: {2} alone -> 1.
+	if got := WindowedJain(series); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("got %v, want 1", got)
+	}
+}
+
+func TestWindowedJainEmpty(t *testing.T) {
+	if WindowedJain(nil) != 1 {
+		t.Error("no series should yield 1")
+	}
+	if WindowedJain([][]float64{{}, {}}) != 1 {
+		t.Error("empty rows should yield 1")
+	}
+}

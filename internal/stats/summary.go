@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates samples and reports mean, standard deviation, min, max,
+// and percentiles. Percentile queries sort a private copy lazily; the sorted
+// order is cached until the next Add.
+type Summary struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	sumSq   float64
+}
+
+// NewSummary returns an empty Summary with capacity hint n.
+func NewSummary(n int) *Summary {
+	return &Summary{samples: make([]float64, 0, n)}
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sumSq += v * v
+	s.sorted = false
+}
+
+// N returns the number of samples recorded.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Stddev returns the population standard deviation, or 0 with fewer than two
+// samples.
+func (s *Summary) Stddev() float64 {
+	n := float64(len(s.samples))
+	if n < 2 {
+		return 0
+	}
+	mean := s.sum / n
+	v := s.sumSq/n - mean*mean
+	if v < 0 { // guard tiny negative from rounding
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest sample, or +Inf with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return math.Inf(1)
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or -Inf with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return math.Inf(-1)
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 with no samples.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	s.ensureSorted()
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Stddev(), s.Min(), s.Median(), s.Percentile(95), s.Max())
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}

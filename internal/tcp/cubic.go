@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// Cubic parameters from Ha, Rhee, Xu, "CUBIC: A New TCP-Friendly High-Speed
+// TCP Variant" and RFC 8312.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Cubic is TCP Cubic's window dynamics: after a loss the window grows along
+// a cubic curve anchored at the pre-loss maximum (concave approach, plateau,
+// convex probe), with a TCP-friendly lower bound for low-BDP regimes.
+type Cubic struct {
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64
+	k          float64       // time to return to wMax, seconds
+	epochStart time.Duration // when the current growth epoch began
+	haveEpoch  bool
+	srtt       time.Duration
+
+	lastSent   int64
+	recoverSeq int64
+	inRecovery bool
+}
+
+var _ cc.Controller = (*Cubic)(nil)
+
+// NewCubic returns a Cubic controller with initial window 2.
+func NewCubic() *Cubic {
+	return &Cubic{cwnd: 2, ssthresh: 1 << 30, recoverSeq: -1}
+}
+
+// Name implements cc.Controller.
+func (t *Cubic) Name() string { return "cubic" }
+
+// Cwnd returns the current congestion window in packets.
+func (t *Cubic) Cwnd() float64 { return t.cwnd }
+
+// OnAck implements cc.Controller.
+func (t *Cubic) OnAck(now time.Duration, ack cc.AckSample) {
+	if t.srtt == 0 {
+		t.srtt = ack.RTT
+	} else {
+		t.srtt = (7*t.srtt + ack.RTT) / 8
+	}
+	if t.inRecovery {
+		if ack.Seq >= t.recoverSeq {
+			t.inRecovery = false
+		} else {
+			return
+		}
+	}
+	if t.cwnd < t.ssthresh {
+		t.cwnd++
+		return
+	}
+	t.congestionAvoidance(now)
+}
+
+func (t *Cubic) congestionAvoidance(now time.Duration) {
+	if !t.haveEpoch {
+		// First congestion-avoidance ack of this epoch.
+		t.haveEpoch = true
+		t.epochStart = now
+		if t.wMax < t.cwnd {
+			t.wMax = t.cwnd
+			t.k = 0
+		} else {
+			t.k = math.Cbrt(t.wMax * (1 - cubicBeta) / cubicC)
+		}
+	}
+	et := (now - t.epochStart).Seconds()
+	target := cubicC*math.Pow(et-t.k, 3) + t.wMax
+
+	// TCP-friendly region (standard TCP's AIMD estimate over the same
+	// epoch).
+	rtt := t.srtt.Seconds()
+	if rtt <= 0 {
+		rtt = 0.1
+	}
+	wEst := t.wMax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*et/rtt
+	if target < wEst {
+		target = wEst
+	}
+	if target > t.cwnd {
+		// Spread the increase over the window's worth of acks.
+		t.cwnd += (target - t.cwnd) / t.cwnd
+	} else {
+		t.cwnd += 0.01 / t.cwnd // minimal probing, per RFC 8312 §4.4 spirit
+	}
+}
+
+// OnLoss implements cc.Controller.
+func (t *Cubic) OnLoss(now time.Duration, loss cc.LossEvent) {
+	if t.inRecovery {
+		return
+	}
+	t.inRecovery = true
+	t.recoverSeq = t.lastSent
+	t.wMax = t.cwnd
+	t.cwnd *= cubicBeta
+	if t.cwnd < 2 {
+		t.cwnd = 2
+	}
+	t.ssthresh = t.cwnd
+	t.haveEpoch = false
+}
+
+// OnTimeout implements cc.Controller.
+func (t *Cubic) OnTimeout(now time.Duration) {
+	t.wMax = t.cwnd
+	t.ssthresh = math.Max(2, t.cwnd*cubicBeta)
+	t.cwnd = 1
+	t.haveEpoch = false
+	t.inRecovery = false
+}
+
+// TickInterval implements cc.Controller (ack-clocked).
+func (t *Cubic) TickInterval() time.Duration { return 0 }
+
+// Tick implements cc.Controller.
+func (t *Cubic) Tick(time.Duration) {}
+
+// Allowance implements cc.Controller.
+func (t *Cubic) Allowance(_ time.Duration, inflight int) int {
+	return int(t.cwnd) - inflight
+}
+
+// SendTag implements cc.Controller.
+func (t *Cubic) SendTag() int { return int(t.cwnd) }
+
+// OnSend implements cc.Controller.
+func (t *Cubic) OnSend(_ time.Duration, seq int64, _ int) {
+	if seq > t.lastSent {
+		t.lastSent = seq
+	}
+}

@@ -1,0 +1,107 @@
+// Package tcp implements window-dynamics models of the legacy TCP congestion
+// controllers the Verus paper compares against: NewReno (RFC 6582 behaviour,
+// the paper's "Windows 7" baseline), Cubic (Ha/Rhee/Xu, the "Linux 3.16"
+// baseline), and Vegas (Brakmo/O'Malley/Peterson, the classic delay-based
+// protocol Verus draws inspiration from).
+//
+// Each controller implements cc.Controller, so it runs on the simulator's
+// Source exactly as Verus does. Loss detection, RTT sampling, and
+// retransmission timeouts are host (Source/transport) duties; these types
+// model only window evolution.
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+// NewReno is TCP NewReno's AIMD window dynamics: slow start to ssthresh,
+// additive increase of one packet per RTT, halving on loss with
+// one-reduction-per-window fast recovery, and a collapse to one packet on
+// timeout.
+type NewReno struct {
+	cwnd     float64
+	ssthresh float64
+
+	lastSent   int64 // highest sequence transmitted
+	recoverSeq int64 // recovery ends when this sequence is acked
+	inRecovery bool
+}
+
+var _ cc.Controller = (*NewReno)(nil)
+
+// NewNewReno returns a NewReno controller with initial window 2.
+func NewNewReno() *NewReno {
+	return &NewReno{cwnd: 2, ssthresh: 1 << 30, recoverSeq: -1}
+}
+
+// Name implements cc.Controller.
+func (t *NewReno) Name() string { return "newreno" }
+
+// Cwnd returns the current congestion window in packets.
+func (t *NewReno) Cwnd() float64 { return t.cwnd }
+
+// InSlowStart reports whether the window is below ssthresh.
+func (t *NewReno) InSlowStart() bool { return t.cwnd < t.ssthresh }
+
+// OnAck implements cc.Controller.
+func (t *NewReno) OnAck(now time.Duration, ack cc.AckSample) {
+	if t.inRecovery {
+		if ack.Seq >= t.recoverSeq {
+			t.inRecovery = false
+		} else {
+			return // no growth while recovering
+		}
+	}
+	if t.cwnd < t.ssthresh {
+		t.cwnd++
+	} else {
+		t.cwnd += 1 / t.cwnd
+	}
+}
+
+// OnLoss implements cc.Controller.
+func (t *NewReno) OnLoss(now time.Duration, loss cc.LossEvent) {
+	if t.inRecovery {
+		return
+	}
+	t.inRecovery = true
+	t.recoverSeq = t.lastSent
+	t.ssthresh = t.cwnd / 2
+	if t.ssthresh < 2 {
+		t.ssthresh = 2
+	}
+	t.cwnd = t.ssthresh
+}
+
+// OnTimeout implements cc.Controller.
+func (t *NewReno) OnTimeout(now time.Duration) {
+	t.ssthresh = t.cwnd / 2
+	if t.ssthresh < 2 {
+		t.ssthresh = 2
+	}
+	t.cwnd = 1
+	t.inRecovery = false
+}
+
+// TickInterval implements cc.Controller (ack-clocked).
+func (t *NewReno) TickInterval() time.Duration { return 0 }
+
+// Tick implements cc.Controller.
+func (t *NewReno) Tick(time.Duration) {}
+
+// Allowance implements cc.Controller.
+func (t *NewReno) Allowance(_ time.Duration, inflight int) int {
+	return int(t.cwnd) - inflight
+}
+
+// SendTag implements cc.Controller.
+func (t *NewReno) SendTag() int { return int(t.cwnd) }
+
+// OnSend implements cc.Controller.
+func (t *NewReno) OnSend(_ time.Duration, seq int64, _ int) {
+	if seq > t.lastSent {
+		t.lastSent = seq
+	}
+}

@@ -1,0 +1,153 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+// Vegas parameters (packets of backlog) from Brakmo & Peterson.
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+	vegasGamma = 1
+)
+
+// Vegas is TCP Vegas's delay-based window dynamics: it estimates the backlog
+// it keeps in the bottleneck queue as
+//
+//	diff = cwnd × (RTT − baseRTT) / RTT
+//
+// and nudges the window to hold that backlog between α and β packets. It is
+// the classic delay-based protocol from which Verus "draws inspiration"
+// (paper §2) and one of the paper's real-world baselines (Fig. 8).
+type Vegas struct {
+	cwnd     float64
+	ssthresh float64
+
+	baseRTT time.Duration // minimum observed RTT
+	rttSum  time.Duration
+	rttCnt  int
+	nextAdj int64 // adjust once per RTT: when this seq is acked
+
+	lastSent   int64
+	recoverSeq int64
+	inRecovery bool
+	slowStart  bool
+	ssToggle   bool // Vegas doubles every *other* RTT during slow start
+}
+
+var _ cc.Controller = (*Vegas)(nil)
+
+// NewVegas returns a Vegas controller with initial window 2.
+func NewVegas() *Vegas {
+	return &Vegas{cwnd: 2, ssthresh: 1 << 30, recoverSeq: -1, slowStart: true}
+}
+
+// Name implements cc.Controller.
+func (t *Vegas) Name() string { return "vegas" }
+
+// Cwnd returns the current congestion window in packets.
+func (t *Vegas) Cwnd() float64 { return t.cwnd }
+
+// OnAck implements cc.Controller.
+func (t *Vegas) OnAck(now time.Duration, ack cc.AckSample) {
+	if t.baseRTT == 0 || ack.RTT < t.baseRTT {
+		t.baseRTT = ack.RTT
+	}
+	t.rttSum += ack.RTT
+	t.rttCnt++
+
+	if t.inRecovery {
+		if ack.Seq >= t.recoverSeq {
+			t.inRecovery = false
+		} else {
+			return
+		}
+	}
+	// Once-per-RTT adjustment: wait until a packet sent after the previous
+	// adjustment is acknowledged.
+	if ack.Seq < t.nextAdj {
+		return
+	}
+	t.nextAdj = t.lastSent + 1
+	if t.rttCnt == 0 {
+		return
+	}
+	avgRTT := t.rttSum / time.Duration(t.rttCnt)
+	t.rttSum, t.rttCnt = 0, 0
+
+	diff := t.cwnd * float64(avgRTT-t.baseRTT) / float64(avgRTT)
+	if t.slowStart {
+		if diff > vegasGamma || t.cwnd >= t.ssthresh {
+			t.slowStart = false
+			t.cwnd-- // leave slow start one packet lighter, per Vegas
+			if t.cwnd < 2 {
+				t.cwnd = 2
+			}
+			return
+		}
+		// Double every other RTT.
+		t.ssToggle = !t.ssToggle
+		if t.ssToggle {
+			t.cwnd *= 2
+		}
+		return
+	}
+	switch {
+	case diff < vegasAlpha:
+		t.cwnd++
+	case diff > vegasBeta:
+		t.cwnd--
+		if t.cwnd < 2 {
+			t.cwnd = 2
+		}
+	}
+}
+
+// OnLoss implements cc.Controller. Vegas retains Reno's halving on loss.
+func (t *Vegas) OnLoss(now time.Duration, loss cc.LossEvent) {
+	if t.inRecovery {
+		return
+	}
+	t.inRecovery = true
+	t.recoverSeq = t.lastSent
+	t.cwnd /= 2
+	if t.cwnd < 2 {
+		t.cwnd = 2
+	}
+	t.ssthresh = t.cwnd
+	t.slowStart = false
+}
+
+// OnTimeout implements cc.Controller.
+func (t *Vegas) OnTimeout(now time.Duration) {
+	t.ssthresh = t.cwnd / 2
+	if t.ssthresh < 2 {
+		t.ssthresh = 2
+	}
+	t.cwnd = 2
+	t.slowStart = true
+	t.inRecovery = false
+}
+
+// TickInterval implements cc.Controller (ack-clocked).
+func (t *Vegas) TickInterval() time.Duration { return 0 }
+
+// Tick implements cc.Controller.
+func (t *Vegas) Tick(time.Duration) {}
+
+// Allowance implements cc.Controller.
+func (t *Vegas) Allowance(_ time.Duration, inflight int) int {
+	return int(t.cwnd) - inflight
+}
+
+// SendTag implements cc.Controller.
+func (t *Vegas) SendTag() int { return int(t.cwnd) }
+
+// OnSend implements cc.Controller.
+func (t *Vegas) OnSend(_ time.Duration, seq int64, _ int) {
+	if seq > t.lastSent {
+		t.lastSent = seq
+	}
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ReceiverStats summarizes what a receiver observed.
+type ReceiverStats struct {
+	Packets       int64
+	Bytes         int64
+	FirstArrival  time.Time
+	LastArrival   time.Time
+	UniquePackets int64
+}
+
+// MeanMbps returns the goodput between first and last arrival.
+func (s ReceiverStats) MeanMbps() float64 {
+	d := s.LastArrival.Sub(s.FirstArrival).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / d / 1e6
+}
+
+// Receiver is the paper's receiver application: it accepts data packets on a
+// UDP socket and echoes an acknowledgement (with the sender's timestamp and
+// window tag) for every packet, from which the sender derives delay
+// measurements.
+type Receiver struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	stats  ReceiverStats
+	seen   map[int64]struct{}
+	closed bool
+	done   chan struct{}
+}
+
+// NewReceiver starts a receiver listening on addr (e.g. "127.0.0.1:0").
+func NewReceiver(addr string) (*Receiver, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		conn: conn,
+		seen: make(map[int64]struct{}),
+		done: make(chan struct{}),
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the receiver's bound address.
+func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close stops the receiver.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	err := r.conn.Close()
+	<-r.done
+	return err
+}
+
+func (r *Receiver) loop() {
+	defer close(r.done)
+	buf := make([]byte, maxPacket)
+	ackBuf := make([]byte, 0, headerSize)
+	for {
+		n, peer, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		h, err := ParseHeader(buf[:n])
+		if err != nil || h.Type != typeData {
+			continue
+		}
+		now := time.Now()
+		r.mu.Lock()
+		r.stats.Packets++
+		r.stats.Bytes += int64(n)
+		if r.stats.FirstArrival.IsZero() {
+			r.stats.FirstArrival = now
+		}
+		r.stats.LastArrival = now
+		if _, dup := r.seen[h.Seq]; !dup {
+			r.seen[h.Seq] = struct{}{}
+			r.stats.UniquePackets++
+		}
+		r.mu.Unlock()
+
+		ack := Header{Type: typeAck, Flow: h.Flow, Seq: h.Seq, SentNanos: h.SentNanos, Window: h.Window}
+		ackBuf = ack.Marshal(ackBuf[:0])
+		// Best-effort: a lost ack is handled by the sender's loss logic.
+		_, _ = r.conn.WriteToUDP(ackBuf, peer)
+	}
+}

@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/stats"
+)
+
+// SenderConfig configures a Sender.
+type SenderConfig struct {
+	// PayloadBytes is the data payload per packet; the wire adds the
+	// header. The paper uses an MTU of 1400 bytes.
+	PayloadBytes int
+	// Flow tags packets of this sender (0-255).
+	Flow byte
+	// Housekeep bounds how often loss/RTO checks run when the controller
+	// is purely ack-clocked. Default 5 ms.
+	Housekeep time.Duration
+}
+
+// DefaultSenderConfig returns the paper's packet size with 5 ms
+// housekeeping.
+func DefaultSenderConfig() SenderConfig {
+	return SenderConfig{PayloadBytes: 1400 - headerSize, Housekeep: 5 * time.Millisecond}
+}
+
+// SenderStats summarizes a sender's run.
+type SenderStats struct {
+	Sent, Retransmits, Acked, Losses, Timeouts int64
+	// RTT aggregates round-trip samples in seconds.
+	RTT *stats.Summary
+}
+
+// Sender drives a cc.Controller over a real UDP socket. All controller
+// interaction happens on the internal event-loop goroutine, matching the
+// single-threaded contract of cc.Controller.
+type Sender struct {
+	cfg  SenderConfig
+	conn *net.UDPConn
+	ctrl cc.Controller
+
+	start time.Time
+
+	mu    sync.Mutex
+	stats SenderStats
+
+	ackCh  chan Header
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// Event-loop state (not locked; loop-owned).
+	nextSeq  int64
+	pending  []*pendingPkt
+	srtt     time.Duration
+	rttvar   time.Duration
+	lastProg time.Duration
+	backoff  int // consecutive RTOs without progress
+}
+
+type pendingPkt struct {
+	seq        int64
+	sentAt     time.Duration
+	window     int
+	ackedAfter int
+	retx       int
+}
+
+// Dial connects a sender to the receiver at addr and starts its event loop.
+func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 1400 - headerSize
+	}
+	if cfg.Housekeep <= 0 {
+		cfg.Housekeep = 5 * time.Millisecond
+	}
+	s := &Sender{
+		cfg:    cfg,
+		conn:   conn,
+		ctrl:   ctrl,
+		start:  time.Now(),
+		ackCh:  make(chan Header, 1024),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	s.stats.RTT = stats.NewSummary(1024)
+	go s.readLoop()
+	go s.run()
+	return s, nil
+}
+
+// Stats returns a snapshot of the sender's counters. RTT is shared — do not
+// mutate it.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the sender and closes its socket.
+func (s *Sender) Close() error {
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+	}
+	<-s.doneCh
+	return s.conn.Close()
+}
+
+func (s *Sender) now() time.Duration { return time.Since(s.start) }
+
+func (s *Sender) readLoop() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		h, err := ParseHeader(buf[:n])
+		if err != nil || h.Type != typeAck {
+			continue
+		}
+		select {
+		case s.ackCh <- h:
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+func (s *Sender) run() {
+	defer close(s.doneCh)
+	interval := s.ctrl.TickInterval()
+	hasTick := interval > 0
+	if !hasTick {
+		interval = s.cfg.Housekeep
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	s.lastProg = s.now()
+	s.trySend()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case h := <-s.ackCh:
+			s.handleAck(h)
+			s.trySend()
+		case <-ticker.C:
+			now := s.now()
+			if hasTick {
+				s.ctrl.Tick(now)
+			}
+			s.checkTimers(now)
+			s.trySend()
+		}
+	}
+}
+
+func (s *Sender) trySend() {
+	now := s.now()
+	n := s.ctrl.Allowance(now, len(s.pending))
+	buf := make([]byte, 0, headerSize+s.cfg.PayloadBytes)
+	for i := 0; i < n; i++ {
+		h := Header{
+			Type:      typeData,
+			Flow:      s.cfg.Flow,
+			Seq:       s.nextSeq,
+			SentNanos: time.Now().UnixNano(),
+			Window:    uint32(s.ctrl.SendTag()),
+			Length:    uint16(s.cfg.PayloadBytes),
+		}
+		buf = h.Marshal(buf[:0])
+		buf = append(buf, make([]byte, s.cfg.PayloadBytes)...)
+		if _, err := s.conn.Write(buf); err != nil {
+			return
+		}
+		s.pending = append(s.pending, &pendingPkt{seq: h.Seq, sentAt: now, window: int(h.Window)})
+		s.nextSeq++
+		s.mu.Lock()
+		s.stats.Sent++
+		s.mu.Unlock()
+		s.ctrl.OnSend(now, h.Seq, len(s.pending))
+	}
+}
+
+func (s *Sender) handleAck(h Header) {
+	now := s.now()
+	idx := -1
+	for i, p := range s.pending {
+		if p.seq == h.Seq {
+			idx = i
+			break
+		}
+		if p.seq > h.Seq {
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	p := s.pending[idx]
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+	rtt := now - p.sentAt
+	s.updateRTT(rtt)
+	s.lastProg = now
+	s.backoff = 0
+
+	s.mu.Lock()
+	s.stats.Acked++
+	s.stats.RTT.Add(rtt.Seconds())
+	s.mu.Unlock()
+
+	s.ctrl.OnAck(now, cc.AckSample{
+		Seq:        h.Seq,
+		RTT:        rtt,
+		SentWindow: p.window,
+		Inflight:   len(s.pending),
+		Bytes:      int(h.Length) + headerSize,
+	})
+	s.detectLosses(now, h.Seq)
+}
+
+// detectLosses mirrors the prototype's policy (§5.2): a missing sequence is
+// declared lost after three later acknowledgements or a 3×delay timer, and
+// the missing packet is retransmitted.
+func (s *Sender) detectLosses(now time.Duration, ackedSeq int64) {
+	timerCut := 3 * s.srtt
+	kept := s.pending[:0]
+	var lost []*pendingPkt
+	for _, p := range s.pending {
+		isLost := false
+		if p.seq < ackedSeq {
+			p.ackedAfter++
+			if p.ackedAfter >= 3 {
+				isLost = true
+			}
+		}
+		if !isLost && s.srtt > 0 && now-p.sentAt > timerCut && p.ackedAfter > 0 {
+			isLost = true
+		}
+		if isLost {
+			lost = append(lost, p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	s.pending = kept
+	for _, p := range lost {
+		s.mu.Lock()
+		s.stats.Losses++
+		s.mu.Unlock()
+		s.ctrl.OnLoss(now, cc.LossEvent{Seq: p.seq, SentWindow: p.window, Inflight: len(s.pending)})
+		s.retransmit(p, now)
+	}
+}
+
+func (s *Sender) retransmit(p *pendingPkt, now time.Duration) {
+	if p.retx >= 3 {
+		return // give up; the stream is a full-buffer source anyway
+	}
+	h := Header{
+		Type:      typeData,
+		Flow:      s.cfg.Flow,
+		Seq:       p.seq,
+		SentNanos: time.Now().UnixNano(),
+		Window:    uint32(s.ctrl.SendTag()),
+		Length:    uint16(s.cfg.PayloadBytes),
+	}
+	buf := h.Marshal(make([]byte, 0, headerSize+s.cfg.PayloadBytes))
+	buf = append(buf, make([]byte, s.cfg.PayloadBytes)...)
+	if _, err := s.conn.Write(buf); err != nil {
+		return
+	}
+	np := &pendingPkt{seq: p.seq, sentAt: now, window: int(h.Window), retx: p.retx + 1}
+	// Re-insert in seq order.
+	pos := len(s.pending)
+	for i, q := range s.pending {
+		if q.seq > np.seq {
+			pos = i
+			break
+		}
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[pos+1:], s.pending[pos:])
+	s.pending[pos] = np
+	s.mu.Lock()
+	s.stats.Retransmits++
+	s.mu.Unlock()
+}
+
+func (s *Sender) updateRTT(rtt time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		return
+	}
+	diff := s.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + rtt) / 8
+}
+
+func (s *Sender) rto() time.Duration {
+	r := time.Second
+	if s.srtt != 0 {
+		// 2×srtt tolerates the RTT doubling within one round that slow
+		// start over a filling buffer produces; rttvar alone lags it.
+		r = 2*s.srtt + 4*s.rttvar
+	}
+	for i := 0; i < s.backoff && r < 60*time.Second; i++ {
+		r *= 2 // exponential backoff after consecutive timeouts
+	}
+	if r < 200*time.Millisecond {
+		r = 200 * time.Millisecond
+	}
+	if r > 60*time.Second {
+		r = 60 * time.Second
+	}
+	return r
+}
+
+func (s *Sender) checkTimers(now time.Duration) {
+	if len(s.pending) == 0 {
+		return
+	}
+	if now-s.lastProg < s.rto() {
+		return
+	}
+	s.pending = s.pending[:0]
+	s.lastProg = now
+	s.backoff++
+	s.mu.Lock()
+	s.stats.Timeouts++
+	s.mu.Unlock()
+	s.ctrl.OnTimeout(now)
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tcp"
+	"repro/internal/verus"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Type: typeData, Flow: 3, Seq: 123456789, SentNanos: 987654321, Window: 42, Length: 1376}
+	buf := h.Marshal(nil)
+	if len(buf) != headerSize {
+		t.Fatalf("marshal length = %d, want %d", len(buf), headerSize)
+	}
+	got, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, err := ParseHeader(make([]byte, headerSize-1)); err != ErrShortPacket {
+		t.Errorf("short packet: %v", err)
+	}
+	bad := Header{Type: typeData, Seq: 1}.Marshal(nil)
+	bad[0] = 0x7f
+	if _, err := ParseHeader(bad); err == nil {
+		t.Error("unknown type accepted")
+	}
+	neg := Header{Type: typeAck}.Marshal(nil)
+	neg[2] = 0xff // sign bit of seq
+	if _, err := ParseHeader(neg); err == nil {
+		t.Error("negative seq accepted")
+	}
+}
+
+// Property: marshal/parse is the identity on valid headers.
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(flow byte, seq uint32, nanos int64, window uint32, length uint16, kind uint8) bool {
+		types := []byte{typeData, typeAck, typeFin}
+		h := Header{
+			Type:      types[int(kind)%len(types)],
+			Flow:      flow,
+			Seq:       int64(seq),
+			SentNanos: nanos,
+			Window:    window,
+			Length:    length,
+		}
+		got, err := ParseHeader(h.Marshal(nil))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackVerusTransfer(t *testing.T) {
+	r, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s, err := Dial(r.Addr().String(), verus.New(verus.DefaultConfig()), DefaultSenderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ss := s.Stats()
+	rs := r.Stats()
+	if ss.Sent == 0 {
+		t.Fatal("sender sent nothing")
+	}
+	if rs.Packets == 0 {
+		t.Fatal("receiver saw nothing")
+	}
+	if ss.Acked == 0 {
+		t.Fatal("no acks processed")
+	}
+	if ss.RTT.N() == 0 || ss.RTT.Mean() <= 0 {
+		t.Fatal("no RTT samples")
+	}
+	// Loopback: low loss, most sent packets acked.
+	if float64(ss.Acked) < 0.5*float64(ss.Sent) {
+		t.Fatalf("acked %d of %d sent", ss.Acked, ss.Sent)
+	}
+}
+
+func TestLoopbackNewRenoTransfer(t *testing.T) {
+	r, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s, err := Dial(r.Addr().String(), tcp.NewNewReno(), DefaultSenderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().UniquePackets == 0 {
+		t.Fatal("no unique packets delivered")
+	}
+}
+
+func TestReceiverDoubleCloseSafe(t *testing.T) {
+	r, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("not-an-address:xyz", tcp.NewNewReno(), DefaultSenderConfig()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestSenderConfigDefaults(t *testing.T) {
+	cfg := DefaultSenderConfig()
+	if cfg.PayloadBytes+headerSize != 1400 {
+		t.Fatalf("payload %d + header %d != 1400", cfg.PayloadBytes, headerSize)
+	}
+}

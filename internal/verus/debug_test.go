@@ -1,0 +1,28 @@
+package verus
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// TestDebugTrace is a diagnostic aid; run with -run TestDebugTrace -v.
+func TestDebugTrace(t *testing.T) {
+	if os.Getenv("VERUS_DEBUG_TRACE") == "" {
+		t.Skip("diagnostic only; set VERUS_DEBUG_TRACE=1 to run")
+	}
+	sim := netsim.NewSim()
+	v := New(DefaultConfig())
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		return netsim.NewFixedLink(sim, netsim.NewDropTail(1_000_000), 10, 10*time.Millisecond, dst, 1)
+	}, 1400, []netsim.FlowSpec{{Ctrl: v, AckDelay: 10 * time.Millisecond}})
+	sim.Every(250*time.Millisecond, func() {
+		fmt.Printf("t=%6v st=%-13s W=%7.1f quota=%6.1f dEst=%6.1fms dMin=%5.1fms dMax=%6.1fms srtt=%v sent=%d rcvd=%d loss=%d to=%d\n",
+			sim.Now(), v.State(), v.Window(), v.quota, v.dEst*1000, v.dMin*1000, v.dMax*1000, v.srtt,
+			d.Metrics[0].Sent, d.Metrics[0].Received, d.Metrics[0].LossDetected, d.Metrics[0].Timeouts)
+	})
+	d.Run(5 * time.Second)
+}

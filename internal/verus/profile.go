@@ -1,0 +1,181 @@
+package verus
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/spline"
+)
+
+// profilePoint is one (window → delay) knot with its last-update time.
+type profilePoint struct {
+	delay float64
+	stamp int64 // epoch counter of the last update
+}
+
+// delayProfile tracks the relationship between sending window and observed
+// packet delay — the paper's central data structure (§4 "Delay Profiler",
+// Fig. 5). Each acknowledgement updates the point for the window the packet
+// was sent under (EWMA, §5.1); the curve is re-interpolated with a cubic
+// spline at fixed intervals because interpolation after every ack would be
+// too expensive (§5.1).
+//
+// Points that have not been refreshed for staleAfter epochs are dropped at
+// refit time: only visited windows ever receive updates, so after a channel
+// change the unvisited region of the curve is pure history. Left in place,
+// a wall of stale high-delay knots blocks the window from ever growing into
+// a newly fast channel; dropping them hands that region back to the spline's
+// extrapolation, which is the mechanism Verus uses to explore anyway.
+type delayProfile struct {
+	alpha      float64
+	points     map[int]profilePoint
+	maxW       int
+	spl        *spline.Spline
+	dirty      bool
+	staleAfter int64 // epochs; 0 disables aging
+}
+
+func newDelayProfile(alpha float64) *delayProfile {
+	return &delayProfile{alpha: alpha, points: make(map[int]profilePoint)}
+}
+
+// update folds a (window, delay) observation into the profile at epoch now.
+func (p *delayProfile) update(w int, delay float64, now int64) {
+	if w < 1 || delay <= 0 {
+		return
+	}
+	if old, ok := p.points[w]; ok {
+		p.points[w] = profilePoint{delay: p.alpha*old.delay + (1-p.alpha)*delay, stamp: now}
+	} else {
+		p.points[w] = profilePoint{delay: delay, stamp: now}
+	}
+	if w > p.maxW {
+		p.maxW = w
+	}
+	p.dirty = true
+}
+
+// refit ages out stale points and re-interpolates the spline. It is a no-op
+// while fewer than two points exist or nothing changed.
+func (p *delayProfile) refit(now int64) {
+	if p.staleAfter > 0 && len(p.points) > 2 {
+		for w, pt := range p.points {
+			if now-pt.stamp > p.staleAfter && len(p.points) > 2 {
+				delete(p.points, w)
+				p.dirty = true
+			}
+		}
+		p.maxW = 0
+		for w := range p.points {
+			if w > p.maxW {
+				p.maxW = w
+			}
+		}
+	}
+	if !p.dirty || len(p.points) < 2 {
+		return
+	}
+	xs := make([]float64, 0, len(p.points))
+	for w := range p.points {
+		xs = append(xs, float64(w))
+	}
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = p.points[int(x)].delay
+	}
+	if s, err := spline.Fit(xs, ys); err == nil {
+		p.spl = s
+	}
+	p.dirty = false
+}
+
+// ready reports whether the profile has an interpolated curve to query.
+func (p *delayProfile) ready() bool { return p.spl != nil }
+
+// lookup returns the largest window whose interpolated delay does not exceed
+// target, searching up to hi (which may extend past the observed range; the
+// spline extrapolates linearly there, which is how Verus explores windows it
+// has not yet tried). When no window satisfies the target — the target sits
+// at or below the historical minimum delay, which Eq. 4's floor regularly
+// produces — it reports found=false and returns the window with the lowest
+// predicted delay instead of collapsing to one packet. Callers should treat
+// a not-found result as "do not grow".
+func (p *delayProfile) lookup(target, hi float64) (w float64, found bool) {
+	if p.spl == nil {
+		return 1, false
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	steps := int(hi) * 2
+	if steps < 64 {
+		steps = 64
+	}
+	if steps > 4096 {
+		steps = 4096
+	}
+	best := 1.0
+	argmin := 1.0
+	minDelay := math.Inf(1)
+	// The argmin fallback must stay within the observed knot range: beyond
+	// maxW the curve is extrapolation, and a slightly negative slope there
+	// would otherwise make "the least-delay window" an arbitrarily large
+	// unexplored one.
+	argminCeil := float64(p.maxW)
+	if argminCeil < 1 {
+		argminCeil = 1
+	}
+	// Beyond the observed range the curve is linear extrapolation; clamp it
+	// from below at the last observed delay. A noisy negative tail slope
+	// must not promise that huge unexplored windows delay *less* than
+	// anything ever measured — that false promise compounds into a window
+	// runaway.
+	dAtMaxW := p.spl.Eval(argminCeil)
+	step := (hi - 1) / float64(steps-1)
+	for k := 0; k < steps; k++ {
+		x := 1 + float64(k)*step
+		d := p.spl.Eval(x)
+		if x > argminCeil && d < dAtMaxW {
+			d = dAtMaxW
+		}
+		if d <= target {
+			best = x
+			found = true
+		}
+		if x <= argminCeil && d < minDelay {
+			minDelay = d
+			argmin = x
+		}
+	}
+	if !found {
+		return argmin, false
+	}
+	return best, true
+}
+
+// delayAt evaluates the interpolated curve at window w (clamped at >= 1).
+// Returns 0 when no curve exists yet.
+func (p *delayProfile) delayAt(w float64) float64 {
+	if p.spl == nil {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	return p.spl.Eval(w)
+}
+
+// snapshotPoints returns the profile's raw points sorted by window.
+func (p *delayProfile) snapshotPoints() (windows []int, delays []float64) {
+	windows = make([]int, 0, len(p.points))
+	for w := range p.points {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+	delays = make([]float64, len(windows))
+	for i, w := range windows {
+		delays[i] = p.points[w].delay
+	}
+	return windows, delays
+}
