@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -24,6 +25,33 @@ func quickMicro() experiments.MicroOptions {
 	return o
 }
 
+// BenchmarkParallelSpeedup measures the experiment runner's wall-clock win:
+// the same Figure 8 quick pass serial (-parallel 1) and on GOMAXPROCS
+// workers, reporting the ratio as the speedup metric. The two passes render
+// byte-identical results (the determinism golden tests pin that); only the
+// wall-clock differs.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := quickMacro()
+		o.Reps = 2
+
+		o.Parallel = 1
+		start := time.Now()
+		experiments.Figure8(o)
+		serial := time.Since(start)
+
+		o.Parallel = 0 // GOMAXPROCS workers
+		start = time.Now()
+		experiments.Figure8(o)
+		parallel := time.Since(start)
+
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+		b.ReportMetric(serial.Seconds(), "serial-s")
+		b.ReportMetric(parallel.Seconds(), "parallel-s")
+	}
+}
+
 // BenchmarkFigure1 regenerates the LTE burst-arrival scatter (paper Fig. 1).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -35,7 +63,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkFigure2 regenerates the burst-size/inter-arrival PDFs (Fig. 2).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure2(30*time.Second, int64(i+1))
+		r := experiments.Figure2(30*time.Second, int64(i+1), 0)
 		b.ReportMetric(r.MeanBurstBytes[0], "3G-burst-B")
 		b.ReportMetric(r.MeanBurstBytes[2], "LTE-burst-B")
 	}
@@ -44,7 +72,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the competing-traffic delay bars (Fig. 3).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure3(int64(i + 1))
+		r := experiments.Figure3(int64(i+1), 0)
 		b.ReportMetric(r.DelayOnMs[2], "on-delay-ms")
 		b.ReportMetric(r.DelayOffMs[2], "off-delay-ms")
 	}
@@ -177,7 +205,7 @@ func BenchmarkFigure15(b *testing.B) {
 // BenchmarkSensitivity regenerates the §5.3 parameter study.
 func BenchmarkSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Sensitivity(20*time.Second, int64(i+1))
+		r := experiments.Sensitivity(20*time.Second, int64(i+1), 0)
 		b.ReportMetric(float64(len(r.Rows)), "rows")
 	}
 }

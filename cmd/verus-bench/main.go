@@ -3,26 +3,68 @@
 // reports. Use -quick for a reduced-scale pass (seconds per experiment) or
 // the default full scale (the paper's durations; minutes in total).
 //
+// Independent trials (reps × protocols × cells × scenarios) run on a worker
+// pool sized by -parallel; output is byte-identical at every setting, and
+// -parallel 1 reproduces the serial path.
+//
 // Usage:
 //
-//	verus-bench [-quick] [-only fig8,table1,...] [-seed N]
+//	verus-bench [-quick] [-only fig8,table1,...] [-seed N] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// knownExperiments lists every -only id, in run order.
+func knownExperiments() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "predictors", "fig5", "fig7", "fig8",
+		"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity"}
+}
+
+// parseOnly parses a -only flag value into the selected id set, rejecting
+// unknown ids (the first unknown one in input order is reported). An empty
+// value selects everything via the callers' "empty set = all" convention.
+func parseOnly(s string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, k := range knownExperiments() {
+		known[k] = true
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(s, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "" {
+			continue
+		}
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)",
+				id, strings.Join(knownExperiments(), ","))
+		}
+		want[id] = true
+	}
+	return want, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity)")
 	seed := flag.Int64("seed", 42, "base random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	flag.Parse()
+
+	// Validate -only before any experiment runs, so a typo costs nothing.
+	want, err := parseOnly(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	macro := experiments.DefaultMacroOptions()
 	micro := experiments.DefaultMicroOptions()
@@ -39,13 +81,9 @@ func main() {
 	}
 	macro.Seed = *seed
 	micro.Seed = *seed
+	macro.Parallel = *parallel
+	micro.Parallel = *parallel
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		if id != "" {
-			want[strings.TrimSpace(strings.ToLower(id))] = true
-		}
-	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
 	run := func(id, note string, f func() string) {
@@ -59,8 +97,8 @@ func main() {
 	}
 
 	run("fig1", "LTE burst arrivals", func() string { return experiments.Figure1(*seed).Render() })
-	run("fig2", "burst PDFs", func() string { return experiments.Figure2(fig2Dur, *seed).Render() })
-	run("fig3", "competing traffic", func() string { return experiments.Figure3(*seed).Render() })
+	run("fig2", "burst PDFs", func() string { return experiments.Figure2(fig2Dur, *seed, *parallel).Render() })
+	run("fig3", "competing traffic", func() string { return experiments.Figure3(*seed, *parallel).Render() })
 	run("fig4", "windowed throughput", func() string { return experiments.Figure4(*seed).Render() })
 	run("predictors", "§3 predictability", func() string { return experiments.PredictorStudy(*seed).Render() })
 	run("fig5", "delay profile", func() string { return experiments.Figure5(*seed).Render() })
@@ -76,22 +114,5 @@ func main() {
 	run("fig13", "mixed RTTs", func() string { return experiments.Figure13(micro).Render() })
 	run("fig14", "Verus vs Cubic", func() string { return experiments.Figure14(micro).Render() })
 	run("fig15", "static vs updating profile", func() string { return experiments.Figure15(micro).Render() })
-	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed).Render() })
-
-	if len(want) > 0 {
-		known := []string{"fig1", "fig2", "fig3", "fig4", "predictors", "fig5", "fig7", "fig8",
-			"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity"}
-		for id := range want {
-			found := false
-			for _, k := range known {
-				if id == k {
-					found = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "verus-bench: unknown experiment %q (known: %s)\n", id, strings.Join(known, ","))
-				os.Exit(2)
-			}
-		}
-	}
+	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed, *parallel).Render() })
 }

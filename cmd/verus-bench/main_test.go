@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOnlyAcceptsKnownIDs(t *testing.T) {
+	want, err := parseOnly("fig8, TABLE1 ,sensitivity")
+	if err != nil {
+		t.Fatalf("parseOnly: %v", err)
+	}
+	for _, id := range []string{"fig8", "table1", "sensitivity"} {
+		if !want[id] {
+			t.Errorf("id %q not selected: %v", id, want)
+		}
+	}
+	if len(want) != 3 {
+		t.Errorf("selected %d ids, want 3: %v", len(want), want)
+	}
+}
+
+func TestParseOnlyEmptySelectsAll(t *testing.T) {
+	want, err := parseOnly("")
+	if err != nil {
+		t.Fatalf("parseOnly(\"\"): %v", err)
+	}
+	if len(want) != 0 {
+		t.Errorf("empty -only must yield the empty (= all) set, got %v", want)
+	}
+}
+
+func TestParseOnlyRejectsTypoBeforeAnyWork(t *testing.T) {
+	// The original bug: "fig8,figure9" ran fig8 to completion before the
+	// typo was reported. parseOnly must fail up front instead.
+	_, err := parseOnly("fig8,figure9")
+	if err == nil {
+		t.Fatal("typo id accepted")
+	}
+	if !strings.Contains(err.Error(), `"figure9"`) {
+		t.Errorf("error does not name the bad id: %v", err)
+	}
+	if !strings.Contains(err.Error(), "fig15") {
+		t.Errorf("error does not list known ids: %v", err)
+	}
+}
+
+func TestKnownExperimentsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range knownExperiments() {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	if !seen["fig1"] || !seen["sensitivity"] || !seen["predictors"] {
+		t.Errorf("known set incomplete: %v", knownExperiments())
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These golden tests lock in the runner's determinism contract for every
+// converted harness: at a fixed seed, a serial run (-parallel 1), a parallel
+// run (-parallel 8), and a second identically-seeded parallel run must all
+// render byte-identical tables. Scheduling order, worker count, and
+// completion order must never leak into results.
+
+// goldenCases enumerates every harness that submits trials through
+// runner.Pool, each at the smallest scale its clamps allow.
+func goldenCases() []struct {
+	name   string
+	render func(parallel int) string
+} {
+	macro := func(parallel int) MacroOptions {
+		return MacroOptions{Duration: 8 * time.Second, Reps: 2, Seed: 123, Parallel: parallel}
+	}
+	micro := func(parallel int) MicroOptions {
+		return MicroOptions{Duration: 12 * time.Second, Seed: 123, Parallel: parallel}
+	}
+	return []struct {
+		name   string
+		render func(parallel int) string
+	}{
+		{"Figure2", func(p int) string { return Figure2(10*time.Second, 123, p).Render() }},
+		{"Figure3", func(p int) string { return Figure3(123, p).Render() }},
+		{"Figure8", func(p int) string { return Figure8(macro(p)).Render() }},
+		{"Figure9", func(p int) string { return Figure9(macro(p)).Render() }},
+		{"Figure10", func(p int) string { return Figure10(macro(p)).Render() }},
+		{"Table1", func(p int) string { return Table1(macro(p)).Render() }},
+		{"Figure11-I", func(p int) string { return Figure11(micro(p), false).Render() }},
+		{"Figure11-II", func(p int) string { return Figure11(micro(p), true).Render() }},
+		{"Figure12", func(p int) string { return Figure12(micro(p)).Render() }},
+		{"Figure13", func(p int) string { return Figure13(micro(p)).Render() }},
+		{"Figure14", func(p int) string { return Figure14(micro(p)).Render() }},
+		{"Figure15", func(p int) string { return Figure15(micro(p)).Render() }},
+		{"Sensitivity", func(p int) string { return Sensitivity(8*time.Second, 123, p).Render() }},
+	}
+}
+
+func TestGoldenSerialParallelEquivalence(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.render(1)
+			parallel := tc.render(8)
+			if parallel != serial {
+				t.Errorf("parallel output diverges from serial.\n-- serial --\n%s\n-- parallel 8 --\n%s", serial, parallel)
+			}
+			again := tc.render(8)
+			if again != parallel {
+				t.Errorf("two identically-seeded parallel runs diverge.\n-- first --\n%s\n-- second --\n%s", parallel, again)
+			}
+			if len(serial) < 20 {
+				t.Errorf("suspiciously short render: %q", serial)
+			}
+		})
+	}
+}
+
+// TestGoldenSeedSensitivity guards against the trivial way the equivalence
+// test could pass: harnesses ignoring their seed entirely.
+func TestGoldenSeedSensitivity(t *testing.T) {
+	a := Figure8(MacroOptions{Duration: 8 * time.Second, Reps: 1, Seed: 1, Parallel: 8}).Render()
+	b := Figure8(MacroOptions{Duration: 8 * time.Second, Reps: 1, Seed: 2, Parallel: 8}).Render()
+	if a == b {
+		t.Error("different seeds rendered identical Figure 8 tables; seed plumbing is broken")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/experiments/runner"
 	"repro/internal/stats"
 )
 
@@ -15,7 +16,13 @@ type MacroOptions struct {
 	// Reps averages over repetitions (paper: 5).
 	Reps int
 	Seed int64
+	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
+	// Output is byte-identical at every setting; see runner.
+	Parallel int
 }
+
+// pool returns the trial executor for these options.
+func (o MacroOptions) pool() *runner.Pool { return runner.New(o.Parallel) }
 
 // DefaultMacroOptions returns the paper's scale.
 func DefaultMacroOptions() MacroOptions {
@@ -55,7 +62,8 @@ func figure8Protocols() []Maker {
 
 // Figure8 runs the real-world macro comparison on modeled 3G and LTE cells:
 // "Three phones each running three <protocol> flows" → nine flows sharing
-// the cell, averaged across flows and repetitions.
+// the cell, averaged across flows and repetitions. Every (cell, protocol,
+// repetition) triple is one independent trial on the options' worker pool.
 func Figure8(opts MacroOptions) Figure8Result {
 	out := Figure8Result{}
 	cells := []struct {
@@ -66,17 +74,34 @@ func Figure8(opts MacroOptions) Figure8Result {
 		{"3G", cellular.Tech3G, 16},
 		{"LTE", cellular.TechLTE, 40},
 	}
+	protos := figure8Protocols()
+	var jobs []runner.Job[RunResult]
 	for ci, cell := range cells {
+		for pi, mk := range protos {
+			for rep := 0; rep < opts.Reps; rep++ {
+				cell, mk := cell, mk
+				jobs = append(jobs, runner.Job[RunResult]{
+					Key: int64(1000*ci + 100*pi + rep),
+					Run: func(seed int64) RunResult {
+						tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
+						return TraceRun{
+							Trace: tr, Maker: mk, Flows: 9,
+							Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+						}.Run()
+					},
+				})
+			}
+		}
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	k := 0
+	for _, cell := range cells {
 		var points []ProtocolPoint
-		for pi, mk := range figure8Protocols() {
+		for _, mk := range protos {
 			var mbps, delay, p95 float64
 			for rep := 0; rep < opts.Reps; rep++ {
-				seed := opts.Seed + int64(1000*ci+100*pi+rep)
-				tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
-				res := TraceRun{
-					Trace: tr, Maker: mk, Flows: 9,
-					Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
-				}.Run()
+				res := results[k]
+				k++
 				mbps += res.MeanMbps()
 				delay += res.MeanDelay()
 				var pp float64
@@ -135,23 +160,38 @@ func Figure9(opts MacroOptions) Figure9Result {
 		{"LTE", cellular.TechLTE, 40},
 	}
 	rs := []float64{2, 4, 6}
+	var jobs []runner.Job[RunResult]
 	for ci, cell := range cells {
-		var points []ProtocolPoint
 		for pi, rv := range rs {
-			mk := VerusMaker(rv)
+			for rep := 0; rep < opts.Reps; rep++ {
+				cell, mk := cell, VerusMaker(rv)
+				jobs = append(jobs, runner.Job[RunResult]{
+					Key: int64(1000*ci + 100*pi + rep),
+					Run: func(seed int64) RunResult {
+						tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
+						return TraceRun{
+							Trace: tr, Maker: mk, Flows: 9,
+							Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+						}.Run()
+					},
+				})
+			}
+		}
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	k := 0
+	for _, cell := range cells {
+		var points []ProtocolPoint
+		for _, rv := range rs {
 			var mbps, delay float64
 			for rep := 0; rep < opts.Reps; rep++ {
-				seed := opts.Seed + int64(1000*ci+100*pi+rep)
-				tr := cellTrace(cell.tech, cellular.CityStationary, cell.total, opts.Duration, seed)
-				res := TraceRun{
-					Trace: tr, Maker: mk, Flows: 9,
-					Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
-				}.Run()
+				res := results[k]
+				k++
 				mbps += res.MeanMbps()
 				delay += res.MeanDelay()
 			}
 			n := float64(opts.Reps)
-			points = append(points, ProtocolPoint{Protocol: mk.Name, Mbps: mbps / n, DelaySec: delay / n})
+			points = append(points, ProtocolPoint{Protocol: VerusMaker(rv).Name, Mbps: mbps / n, DelaySec: delay / n})
 		}
 		out.Tech = append(out.Tech, cell.name)
 		out.Points = append(out.Points, points)
@@ -201,17 +241,32 @@ func Figure10(opts MacroOptions) Figure10Result {
 	for _, mk := range figure10Protocols() {
 		out.Protocols = append(out.Protocols, mk.Name)
 	}
+	protos := figure10Protocols()
+	var jobs []runner.Job[RunResult]
 	for si, sc := range scenarios {
+		for pi, mk := range protos {
+			sc, mk := sc, mk
+			jobs = append(jobs, runner.Job[RunResult]{
+				Key: int64(1000*si + 100*pi),
+				Run: func(seed int64) RunResult {
+					tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
+					return TraceRun{
+						Trace: tr, Maker: mk, Flows: 10,
+						Duration: opts.Duration, UseRED: true, Seed: seed,
+					}.Run()
+				},
+			})
+		}
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	k := 0
+	for _, sc := range scenarios {
 		out.Scenarios = append(out.Scenarios, sc.Name)
 		var perFlow [][]ProtocolPoint
 		var summary []ProtocolPoint
-		for pi, mk := range figure10Protocols() {
-			seed := opts.Seed + int64(1000*si+100*pi)
-			tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
-			res := TraceRun{
-				Trace: tr, Maker: mk, Flows: 10,
-				Duration: opts.Duration, UseRED: true, Seed: seed,
-			}.Run()
+		for _, mk := range protos {
+			res := results[k]
+			k++
 			var pts []ProtocolPoint
 			for _, f := range res.Flows {
 				pts = append(pts, ProtocolPoint{Protocol: mk.Name, Mbps: f.Mbps, DelaySec: f.DelayMean})
@@ -271,18 +326,34 @@ func Table1(opts MacroOptions) Table1Result {
 	if opts.Reps < len(scenarios) {
 		scenarios = scenarios[:opts.Reps]
 	}
+	var jobs []runner.Job[float64]
 	for _, users := range out.Users {
-		row := make([]float64, len(makers))
 		for pi, mk := range makers {
-			var acc float64
 			for si, sc := range scenarios {
-				seed := opts.Seed + int64(10000*users+100*pi+si)
-				tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
-				res := TraceRun{
-					Trace: tr, Maker: mk, Flows: users,
-					Duration: opts.Duration, UseRED: true, Seed: seed,
-				}.Run()
-				acc += stats.WindowedJain(res.PerSecondMbps)
+				users, mk, sc := users, mk, sc
+				jobs = append(jobs, runner.Job[float64]{
+					Key: int64(10000*users + 100*pi + si),
+					Run: func(seed int64) float64 {
+						tr := cellTrace(cellular.Tech3G, sc, 25, opts.Duration, seed)
+						res := TraceRun{
+							Trace: tr, Maker: mk, Flows: users,
+							Duration: opts.Duration, UseRED: true, Seed: seed,
+						}.Run()
+						return stats.WindowedJain(res.PerSecondMbps)
+					},
+				})
+			}
+		}
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	k := 0
+	for range out.Users {
+		row := make([]float64, len(makers))
+		for pi := range makers {
+			var acc float64
+			for range scenarios {
+				acc += results[k]
+				k++
 			}
 			row[pi] = acc / float64(len(scenarios))
 		}

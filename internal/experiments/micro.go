@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 )
@@ -15,7 +16,13 @@ import (
 type MicroOptions struct {
 	Duration time.Duration
 	Seed     int64
+	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
+	// Output is byte-identical at every setting; see runner.
+	Parallel int
 }
+
+// pool returns the trial executor for these options.
+func (o MicroOptions) pool() *runner.Pool { return runner.New(o.Parallel) }
 
 // DefaultMicroOptions returns the paper's scale (500 s for Fig. 11, shorter
 // figures clamp internally).
@@ -72,26 +79,42 @@ func Figure11(opts MicroOptions, scenarioII bool) Figure11Result {
 		out.Scenario = "I (10-100 Mbps)"
 		makers = []Maker{VerusMaker(2), CubicMaker(), VegasMaker(), SproutMaker()}
 	}
+	type trial struct {
+		res      RunResult
+		capacity []float64
+	}
+	var jobs []runner.Job[trial]
 	for _, mk := range makers {
-		var capSeries []float64
-		run := FixedRun{
-			RateMbps: lo, Maker: mk, Flows: 1,
-			Duration:   opts.Duration,
-			QueueBytes: 2_000_000,
-			BaseOneWay: 10 * time.Millisecond,
-			Seed:       opts.Seed,
-			// Same seed → every protocol sees the identical parameter path.
-			Mutate:      figure11Mutator(opts.Seed, lo, hi, &capSeries),
-			MutateEvery: 5 * time.Second,
-		}
-		res := run.Run()
+		mk := mk
+		jobs = append(jobs, runner.Job[trial]{
+			// Every protocol shares key 0: the identical derived seed means
+			// each one replays the identical parameter path.
+			Key: 0,
+			Run: func(seed int64) trial {
+				var capSeries []float64
+				res := FixedRun{
+					RateMbps: lo, Maker: mk, Flows: 1,
+					Duration:    opts.Duration,
+					QueueBytes:  2_000_000,
+					BaseOneWay:  10 * time.Millisecond,
+					Seed:        seed,
+					Mutate:      figure11Mutator(seed, lo, hi, &capSeries),
+					MutateEvery: 5 * time.Second,
+				}.Run()
+				return trial{res: res, capacity: capSeries}
+			},
+		})
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	for i, mk := range makers {
+		res := results[i].res
 		out.Protocols = append(out.Protocols, mk.Name)
 		out.MeanMbps = append(out.MeanMbps, res.Flows[0].Mbps)
 		out.DelayMs = append(out.DelayMs, res.Flows[0].DelayMean*1000)
 		out.Timeline = append(out.Timeline, res.PerSecondMbps[0])
 		out.DelaySeries = append(out.DelaySeries, res.PerSecondDelay[0])
 		if out.Capacity == nil {
-			out.Capacity = capSeries
+			out.Capacity = results[i].capacity
 		}
 	}
 	return out
@@ -137,11 +160,13 @@ func Figure12(opts MicroOptions) Figure12Result {
 	if min := stagger*time.Duration(flows) + 20*time.Second; dur < min {
 		dur = min
 	}
-	res := FixedRun{
-		RateMbps: 90, Maker: VerusMaker(2), Flows: flows,
-		Duration: dur, QueueBytes: 2_000_000,
-		BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: opts.Seed,
-	}.Run()
+	res := runner.Go(opts.pool(), opts.Seed, 0, func(seed int64) RunResult {
+		return FixedRun{
+			RateMbps: 90, Maker: VerusMaker(2), Flows: flows,
+			Duration: dur, QueueBytes: 2_000_000,
+			BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: seed,
+		}.Run()
+	})
 
 	out := Figure12Result{Timeline: res.PerSecondMbps}
 	lastStart := int((time.Duration(flows-1) * stagger) / time.Second)
@@ -204,13 +229,15 @@ func Figure13(opts MicroOptions) Figure13Result {
 	for i, r := range rtts {
 		ackDelays[i] = r / 2
 	}
-	res := FixedRun{
-		RateMbps: 60, Maker: VerusMaker(2), Flows: 3,
-		Duration: opts.Duration, QueueBytes: 2_000_000,
-		BaseOneWay: 10 * time.Millisecond, // forward leg; reverse differs per flow
-		AckDelays:  ackDelays,
-		Seed:       opts.Seed,
-	}.Run()
+	res := runner.Go(opts.pool(), opts.Seed, 0, func(seed int64) RunResult {
+		return FixedRun{
+			RateMbps: 60, Maker: VerusMaker(2), Flows: 3,
+			Duration: opts.Duration, QueueBytes: 2_000_000,
+			BaseOneWay: 10 * time.Millisecond, // forward leg; reverse differs per flow
+			AckDelays:  ackDelays,
+			Seed:       seed,
+		}.Run()
+	})
 	out := Figure13Result{RTTs: rtts}
 	lo, hi := math.Inf(1), 0.0
 	for _, f := range res.Flows {
@@ -252,12 +279,14 @@ func Figure14(opts MicroOptions) Figure14Result {
 	if min := 7 * stagger; dur < min {
 		dur = min
 	}
-	res := FixedRun{
-		RateMbps: 60, Maker: VerusMaker(2), Flows: 3,
-		ExtraMakers: []Maker{CubicMaker(), CubicMaker(), CubicMaker()},
-		Duration:    dur, QueueBytes: 1_000_000,
-		BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: opts.Seed,
-	}.Run()
+	res := runner.Go(opts.pool(), opts.Seed, 0, func(seed int64) RunResult {
+		return FixedRun{
+			RateMbps: 60, Maker: VerusMaker(2), Flows: 3,
+			ExtraMakers: []Maker{CubicMaker(), CubicMaker(), CubicMaker()},
+			Duration:    dur, QueueBytes: 1_000_000,
+			BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: seed,
+		}.Run()
+	})
 	out := Figure14Result{}
 	allActive := int((5*stagger + 5*time.Second) / time.Second)
 	var verusSum, cubicSum float64
@@ -309,13 +338,26 @@ type Figure15Result struct {
 // trace scenarios with R = 2.
 func Figure15(opts MicroOptions) Figure15Result {
 	out := Figure15Result{}
-	for si, sc := range table1Scenarios() {
-		seed := opts.Seed + int64(si)
-		tr := cellTrace(cellular.Tech3G, sc, 12, opts.Duration, seed)
-		upd := TraceRun{Trace: tr, Maker: VerusMaker(2), Flows: 1,
-			Duration: opts.Duration, QueueBytes: 2_000_000, Seed: seed}.Run()
-		sta := TraceRun{Trace: tr, Maker: VerusStaticMaker(2), Flows: 1,
-			Duration: opts.Duration, QueueBytes: 2_000_000, Seed: seed}.Run()
+	scenarios := table1Scenarios()
+	var jobs []runner.Job[RunResult]
+	for si, sc := range scenarios {
+		for _, mk := range []Maker{VerusMaker(2), VerusStaticMaker(2)} {
+			sc, mk := sc, mk
+			jobs = append(jobs, runner.Job[RunResult]{
+				// Both variants share the scenario's key: the ablation needs
+				// the static profile to face the identical channel.
+				Key: int64(si),
+				Run: func(seed int64) RunResult {
+					tr := cellTrace(cellular.Tech3G, sc, 12, opts.Duration, seed)
+					return TraceRun{Trace: tr, Maker: mk, Flows: 1,
+						Duration: opts.Duration, QueueBytes: 2_000_000, Seed: seed}.Run()
+				},
+			})
+		}
+	}
+	results := runner.Map(opts.pool(), opts.Seed, jobs)
+	for si, sc := range scenarios {
+		upd, sta := results[2*si], results[2*si+1]
 		out.Scenarios = append(out.Scenarios, sc.Name)
 		out.UpdatingMbps = append(out.UpdatingMbps, upd.MeanMbps())
 		out.StaticMbps = append(out.StaticMbps, sta.MeanMbps())

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/cellular"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/verus"
 )
@@ -128,26 +129,27 @@ type SensitivityRow struct {
 
 // Sensitivity sweeps ε ∈ {2,5,10,20,50 ms}, update interval ∈
 // {0.25,0.5,1,2,5 s}, and δ pairs, one Verus flow on a 3G channel each.
-func Sensitivity(d time.Duration, seed int64) SensitivityResult {
-	tr := cellTrace(cellular.Tech3G, cellular.CampusPedestrian, 10, d, seed)
-	run := func(mut func(*verus.Config)) (float64, float64) {
-		cfg := verus.DefaultConfig()
-		mut(&cfg)
-		mk := Maker{Name: "verus", New: func() cc.Controller { return verus.New(cfg) }}
-		res := TraceRun{Trace: tr, Maker: mk, Flows: 1, Duration: d,
-			QueueBytes: 2_000_000, Seed: seed}.Run()
-		return res.MeanMbps(), res.MeanDelay() * 1000
+// Every parameter setting is one trial on a pool of `parallel` workers
+// (0 = GOMAXPROCS, 1 = serial); all trials share one key so each setting
+// faces the identical channel, as the sweep requires.
+func Sensitivity(d time.Duration, seed int64, parallel int) SensitivityResult {
+	// One trace, generated from the shared trial seed, drives every setting.
+	// Trials only read it, so sharing it across workers is safe.
+	tr := cellTrace(cellular.Tech3G, cellular.CampusPedestrian, 10, d, runner.DeriveSeed(seed, 0))
+	type setting struct {
+		param, value string
+		mut          func(*verus.Config)
 	}
-	var out SensitivityResult
+	var settings []setting
 	for _, eps := range []time.Duration{2, 5, 10, 20, 50} {
 		e := eps * time.Millisecond
-		mbps, delay := run(func(c *verus.Config) { c.Epoch = e })
-		out.Rows = append(out.Rows, SensitivityRow{"epsilon", e.String(), mbps, delay})
+		settings = append(settings, setting{"epsilon", e.String(),
+			func(c *verus.Config) { c.Epoch = e }})
 	}
 	for _, ui := range []time.Duration{250, 500, 1000, 2000, 5000} {
 		u := ui * time.Millisecond
-		mbps, delay := run(func(c *verus.Config) { c.ProfileUpdateEvery = u })
-		out.Rows = append(out.Rows, SensitivityRow{"update-interval", u.String(), mbps, delay})
+		settings = append(settings, setting{"update-interval", u.String(),
+			func(c *verus.Config) { c.ProfileUpdateEvery = u }})
 	}
 	for _, dd := range [][2]time.Duration{
 		{time.Millisecond, time.Millisecond},
@@ -156,10 +158,25 @@ func Sensitivity(d time.Duration, seed int64) SensitivityResult {
 		{time.Millisecond, 4 * time.Millisecond},
 	} {
 		d1, d2 := dd[0], dd[1]
-		mbps, delay := run(func(c *verus.Config) { c.Delta1, c.Delta2 = d1, d2 })
-		out.Rows = append(out.Rows, SensitivityRow{"delta", fmt.Sprintf("δ1=%v δ2=%v", d1, d2), mbps, delay})
+		settings = append(settings, setting{"delta", fmt.Sprintf("δ1=%v δ2=%v", d1, d2),
+			func(c *verus.Config) { c.Delta1, c.Delta2 = d1, d2 }})
 	}
-	return out
+	var jobs []runner.Job[SensitivityRow]
+	for _, st := range settings {
+		st := st
+		jobs = append(jobs, runner.Job[SensitivityRow]{
+			Key: 0,
+			Run: func(trialSeed int64) SensitivityRow {
+				cfg := verus.DefaultConfig()
+				st.mut(&cfg)
+				mk := Maker{Name: "verus", New: func() cc.Controller { return verus.New(cfg) }}
+				res := TraceRun{Trace: tr, Maker: mk, Flows: 1, Duration: d,
+					QueueBytes: 2_000_000, Seed: trialSeed}.Run()
+				return SensitivityRow{st.param, st.value, res.MeanMbps(), res.MeanDelay() * 1000}
+			},
+		})
+	}
+	return SensitivityResult{Rows: runner.Map(runner.New(parallel), seed, jobs)}
 }
 
 // Render prints the sensitivity table.

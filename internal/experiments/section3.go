@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/predictor"
 	"repro/internal/stats"
@@ -82,8 +83,9 @@ type Figure2Result struct {
 }
 
 // Figure2 generates stationary downlink traces for both operators on 3G and
-// LTE and reports burst statistics.
-func Figure2(d time.Duration, seed int64) Figure2Result {
+// LTE and reports burst statistics. Each operator/technology combination is
+// one trial on a pool of `parallel` workers (0 = GOMAXPROCS, 1 = serial).
+func Figure2(d time.Duration, seed int64, parallel int) Figure2Result {
 	var out Figure2Result
 	configs := []struct {
 		op   cellular.Operator
@@ -94,42 +96,58 @@ func Figure2(d time.Duration, seed int64) Figure2Result {
 		{cellular.OperatorA, cellular.TechLTE},
 		{cellular.OperatorB, cellular.TechLTE},
 	}
+	type burstPDFs struct {
+		sizeCenters, sizeDensity []float64
+		gapCenters, gapDensity   []float64
+		meanBurstBytes, meanGap  float64
+	}
+	var jobs []runner.Job[burstPDFs]
 	for i, c := range configs {
-		m := cellular.NewModel(cellular.Config{
-			Tech: c.tech, Operator: c.op,
-			Scenario: cellular.CityStationary, Seed: seed + int64(i),
+		c := c
+		jobs = append(jobs, runner.Job[burstPDFs]{
+			Key: int64(i),
+			Run: func(trialSeed int64) burstPDFs {
+				m := cellular.NewModel(cellular.Config{
+					Tech: c.tech, Operator: c.op,
+					Scenario: cellular.CityStationary, Seed: trialSeed,
+				})
+				tr := m.Trace(d)
+				sizes, gaps := cellular.BurstStats(tr, 200*time.Microsecond)
+				sh := stats.NewLogHistogram(100, 1.6, 40) // bytes
+				gh := stats.NewLogHistogram(0.5, 1.6, 40) // milliseconds
+				var sSum, gSum float64
+				for _, s := range sizes {
+					sh.Add(s)
+					sSum += s
+				}
+				for _, g := range gaps {
+					ms := float64(g.Microseconds()) / 1000
+					gh.Add(ms)
+					gSum += ms
+				}
+				var r burstPDFs
+				r.sizeCenters, r.sizeDensity = sh.PDF()
+				r.gapCenters, r.gapDensity = gh.PDF()
+				if len(sizes) > 0 {
+					r.meanBurstBytes = sSum / float64(len(sizes))
+				}
+				if len(gaps) > 0 {
+					r.meanGap = gSum / float64(len(gaps))
+				}
+				return r
+			},
 		})
-		tr := m.Trace(d)
-		sizes, gaps := cellular.BurstStats(tr, 200*time.Microsecond)
-		sh := stats.NewLogHistogram(100, 1.6, 40) // bytes
-		gh := stats.NewLogHistogram(0.5, 1.6, 40) // milliseconds
-		var sSum, gSum float64
-		for _, s := range sizes {
-			sh.Add(s)
-			sSum += s
-		}
-		for _, g := range gaps {
-			ms := float64(g.Microseconds()) / 1000
-			gh.Add(ms)
-			gSum += ms
-		}
-		sc, sd := sh.PDF()
-		gc, gd := gh.PDF()
+	}
+	results := runner.Map(runner.New(parallel), seed, jobs)
+	for i, c := range configs {
+		r := results[i]
 		out.Labels = append(out.Labels, fmt.Sprintf("%s %s", c.op, c.tech))
-		out.SizeCenters = append(out.SizeCenters, sc)
-		out.SizeDensity = append(out.SizeDensity, sd)
-		out.GapCenters = append(out.GapCenters, gc)
-		out.GapDensity = append(out.GapDensity, gd)
-		if len(sizes) > 0 {
-			out.MeanBurstBytes = append(out.MeanBurstBytes, sSum/float64(len(sizes)))
-		} else {
-			out.MeanBurstBytes = append(out.MeanBurstBytes, 0)
-		}
-		if len(gaps) > 0 {
-			out.MeanGapMs = append(out.MeanGapMs, gSum/float64(len(gaps)))
-		} else {
-			out.MeanGapMs = append(out.MeanGapMs, 0)
-		}
+		out.SizeCenters = append(out.SizeCenters, r.sizeCenters)
+		out.SizeDensity = append(out.SizeDensity, r.sizeDensity)
+		out.GapCenters = append(out.GapCenters, r.gapCenters)
+		out.GapDensity = append(out.GapDensity, r.gapDensity)
+		out.MeanBurstBytes = append(out.MeanBurstBytes, r.meanBurstBytes)
+		out.MeanGapMs = append(out.MeanGapMs, r.meanGap)
 	}
 	return out
 }
@@ -160,46 +178,57 @@ type Figure3Result struct {
 // Figure3 runs the competing-traffic experiment: user 1 receives at a fixed
 // rate while user 2 alternates 10 Mbps ON/OFF in one-minute periods over a
 // shared 3G cell near saturation (the paper's combined rates "almost equal
-// to the 3G channel capacity").
-func Figure3(seed int64) Figure3Result {
+// to the 3G channel capacity"). Each of user 1's rates is one trial on a
+// pool of `parallel` workers (0 = GOMAXPROCS, 1 = serial).
+func Figure3(seed int64, parallel int) Figure3Result {
 	const cellMbps = 18 // HSPA+ sector capacity: both users ON ≈ saturation
 	out := Figure3Result{Rates: []float64{1, 5, 10}}
+	type onOff struct{ onMs, offMs float64 }
+	var jobs []runner.Job[onOff]
 	for i, rate := range out.Rates {
-		tr := cellTrace(cellular.Tech3G, cellular.CampusStationary, cellMbps, 6*time.Minute, seed+int64(i))
-		sim := netsim.NewSim()
-		d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
-			return netsim.NewTraceLink(sim, netsim.NewDropTail(2_000_000), tr, 15*time.Millisecond, dst, false, seed)
-		}, MTU, []netsim.FlowSpec{
-			{CBRMbps: rate},
-			{CBRMbps: 10, OnFor: time.Minute, OffFor: time.Minute},
+		rate := rate
+		jobs = append(jobs, runner.Job[onOff]{
+			Key: int64(i),
+			Run: func(trialSeed int64) onOff {
+				tr := cellTrace(cellular.Tech3G, cellular.CampusStationary, cellMbps, 6*time.Minute, trialSeed)
+				sim := netsim.NewSim()
+				d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+					return netsim.NewTraceLink(sim, netsim.NewDropTail(2_000_000), tr, 15*time.Millisecond, dst, false, trialSeed+1)
+				}, MTU, []netsim.FlowSpec{
+					{CBRMbps: rate},
+					{CBRMbps: 10, OnFor: time.Minute, OffFor: time.Minute},
+				})
+				d.Run(6 * time.Minute)
+				delays := d.Metrics[0].DelayOverTime.Means()
+				var onSum, offSum float64
+				var onN, offN int
+				for w, dm := range delays {
+					if dm == 0 {
+						continue
+					}
+					sec := time.Duration(w) * time.Second
+					if (sec/time.Minute)%2 == 0 { // user 2 ON during even minutes
+						onSum += dm
+						onN++
+					} else {
+						offSum += dm
+						offN++
+					}
+				}
+				var r onOff
+				if onN > 0 {
+					r.onMs = onSum / float64(onN) * 1000
+				}
+				if offN > 0 {
+					r.offMs = offSum / float64(offN) * 1000
+				}
+				return r
+			},
 		})
-		d.Run(6 * time.Minute)
-		delays := d.Metrics[0].DelayOverTime.Means()
-		var onSum, offSum float64
-		var onN, offN int
-		for w, dm := range delays {
-			if dm == 0 {
-				continue
-			}
-			sec := time.Duration(w) * time.Second
-			if (sec/time.Minute)%2 == 0 { // user 2 ON during even minutes
-				onSum += dm
-				onN++
-			} else {
-				offSum += dm
-				offN++
-			}
-		}
-		if onN > 0 {
-			out.DelayOnMs = append(out.DelayOnMs, onSum/float64(onN)*1000)
-		} else {
-			out.DelayOnMs = append(out.DelayOnMs, 0)
-		}
-		if offN > 0 {
-			out.DelayOffMs = append(out.DelayOffMs, offSum/float64(offN)*1000)
-		} else {
-			out.DelayOffMs = append(out.DelayOffMs, 0)
-		}
+	}
+	for _, r := range runner.Map(runner.New(parallel), seed, jobs) {
+		out.DelayOnMs = append(out.DelayOnMs, r.onMs)
+		out.DelayOffMs = append(out.DelayOffMs, r.offMs)
 	}
 	return out
 }

@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Packet-conservation properties over randomized dumbbell runs: every packet
+// a source sends is accounted for exactly once — dropped at the queue, lost
+// on the link, still queued, in flight, or delivered — and the per-flow
+// Metrics agree with the link's own counters.
+
+// queueDrops reads the drop counter of either queue implementation.
+func queueDrops(q Queue) int64 {
+	switch q := q.(type) {
+	case *DropTail:
+		return int64(q.Drops)
+	case *RED:
+		return int64(q.Drops)
+	default:
+		panic("unknown queue type")
+	}
+}
+
+// randomQueue builds a DropTail or RED queue from the rng.
+func randomQueue(rng *rand.Rand) Queue {
+	if rng.Intn(2) == 0 {
+		return NewDropTail(20_000 + rng.Intn(400_000))
+	}
+	min := 10_000 + rng.Intn(50_000)
+	max := min*2 + rng.Intn(200_000)
+	return NewRED(min, max, 0.02+rng.Float64()*0.3, rng.Int63())
+}
+
+// randomSpecs builds 1-5 CBR flows with random rates, duty cycles, and MTUs.
+// CBR flows stop cleanly at `stop`, which lets the bottleneck drain fully.
+func randomSpecs(rng *rand.Rand, stop time.Duration) []FlowSpec {
+	specs := make([]FlowSpec, 1+rng.Intn(5))
+	for i := range specs {
+		specs[i] = FlowSpec{
+			CBRMbps: 0.5 + rng.Float64()*15,
+			Stop:    stop,
+			MTU:     200 + rng.Intn(1400),
+		}
+		if rng.Intn(3) == 0 {
+			specs[i].OnFor = time.Duration(1+rng.Intn(3)) * time.Second
+			specs[i].OffFor = time.Duration(1+rng.Intn(3)) * time.Second
+		}
+	}
+	return specs
+}
+
+func checkFlowAccounting(t *testing.T, d *Dumbbell, specs []FlowSpec) {
+	t.Helper()
+	for i, m := range d.Metrics {
+		mtu := specs[i].MTU
+		if got, want := m.Throughput.TotalBytes(), m.Received*int64(mtu); got != want {
+			t.Errorf("flow %d: throughput accounts %d B, but %d packets × %d B = %d",
+				i, got, m.Received, mtu, want)
+		}
+	}
+}
+
+func TestConservationFixedLinkDrained(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sim := NewSim()
+		rate := 1 + rng.Float64()*40
+		q := randomQueue(rng)
+		lossProb := 0.0
+		if rng.Intn(2) == 0 {
+			lossProb = rng.Float64() * 0.05
+		}
+		var link *FixedLink
+		stop := time.Duration(3+rng.Intn(8)) * time.Second
+		specs := randomSpecs(rng, stop)
+		d := NewDumbbell(sim, func(dst Receiver) Link {
+			link = NewFixedLink(sim, q, rate, time.Duration(rng.Intn(50))*time.Millisecond, dst, seed+100)
+			link.SetLossProb(lossProb)
+			return link
+		}, 1400, specs)
+
+		// Mid-run: a packet may sit between Dequeue and its serialization
+		// completion, so the identity holds with at most one in service.
+		sim.Run(stop / 2)
+		var sent int64
+		for _, m := range d.Metrics {
+			sent += m.Sent
+		}
+		inService := sent - queueDrops(q) - link.Delivered - link.Lost - int64(q.Len())
+		if inService < 0 || inService > 1 {
+			t.Errorf("seed %d mid-run: sent=%d drops=%d delivered=%d lost=%d queued=%d → %d in service (want 0 or 1)",
+				seed, sent, queueDrops(q), link.Delivered, link.Lost, q.Len(), inService)
+		}
+
+		// After the flows stop, run long enough for the queue to serialize
+		// out and the last propagation events to land.
+		drain := time.Duration(float64(q.Bytes()*8)/(rate*1e6)*float64(time.Second)) + 2*time.Second
+		sim.Run(stop + drain)
+
+		sent = 0
+		for _, m := range d.Metrics {
+			sent += m.Sent
+		}
+		if q.Len() != 0 || q.Bytes() != 0 {
+			t.Fatalf("seed %d: queue not drained: %d packets / %d B", seed, q.Len(), q.Bytes())
+		}
+		if got := queueDrops(q) + link.Delivered + link.Lost; got != sent {
+			t.Errorf("seed %d: conservation broken: sent=%d but drops=%d + delivered=%d + lost=%d = %d",
+				seed, sent, queueDrops(q), link.Delivered, link.Lost, got)
+		}
+		var received int64
+		for _, m := range d.Metrics {
+			received += m.Received
+		}
+		if received != link.Delivered {
+			t.Errorf("seed %d: sinks received %d packets but link delivered %d", seed, received, link.Delivered)
+		}
+		checkFlowAccounting(t, d, specs)
+	}
+}
+
+// syntheticTrace builds a periodic delivery-opportunity trace of the given
+// aggregate rate for TraceLink conservation runs.
+func syntheticTrace(rng *rand.Rand, d time.Duration) *trace.Trace {
+	tr := &trace.Trace{Duration: d}
+	every := time.Duration(1+rng.Intn(10)) * time.Millisecond
+	bytes := 1500 * (1 + rng.Intn(10))
+	for at := time.Duration(0); at < d; at += every {
+		tr.Ops = append(tr.Ops, trace.Opportunity{At: at, Bytes: bytes})
+	}
+	return tr
+}
+
+func TestConservationTraceLinkInvariant(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sim := NewSim()
+		q := randomQueue(rng)
+		tr := syntheticTrace(rng, 2*time.Second)
+		var link *TraceLink
+		stop := time.Duration(3+rng.Intn(5)) * time.Second
+		specs := randomSpecs(rng, stop)
+		d := NewDumbbell(sim, func(dst Receiver) Link {
+			link = NewTraceLink(sim, q, tr, time.Duration(rng.Intn(40))*time.Millisecond, dst, true, seed+200)
+			if rng.Intn(2) == 0 {
+				link.SetLossProb(rng.Float64() * 0.05)
+			}
+			return link
+		}, 1400, specs)
+
+		// TraceLink counts a packet the instant it is dequeued, so the
+		// conservation identity is exact at every observation point.
+		check := func(at time.Duration) {
+			sim.Run(at)
+			var sent int64
+			for _, m := range d.Metrics {
+				sent += m.Sent
+			}
+			if got := queueDrops(q) + link.Delivered + link.Lost + int64(q.Len()); got != sent {
+				t.Errorf("seed %d at %v: sent=%d but drops=%d + delivered=%d + lost=%d + queued=%d = %d",
+					seed, at, sent, queueDrops(q), link.Delivered, link.Lost, q.Len(), got)
+			}
+		}
+		check(stop / 2)
+		check(stop)
+		check(stop + 10*time.Second) // loop=true: the trace keeps draining
+
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: queue not drained after 10 s of idle channel: %d packets", seed, q.Len())
+		}
+		var received int64
+		for _, m := range d.Metrics {
+			received += m.Received
+		}
+		if received != link.Delivered {
+			t.Errorf("seed %d: sinks received %d packets but link delivered %d", seed, received, link.Delivered)
+		}
+		checkFlowAccounting(t, d, specs)
+	}
+}

@@ -36,6 +36,64 @@ func TestSimFIFOAmongSimultaneous(t *testing.T) {
 	}
 }
 
+// TestSimPastClampKeepsFIFO pins the sim.go tiebreaker: an event scheduled
+// in the past is clamped to now and takes a fresh seq, so it fires after
+// every event already queued for the current instant and never reorders
+// them — the property the deterministic experiment runner leans on.
+func TestSimPastClampKeepsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []string
+	add := func(tag string) func() { return func() { order = append(order, tag) } }
+	s.Schedule(10*time.Millisecond, func() {
+		order = append(order, "a")
+		// In the past: must clamp to now (10 ms) and queue behind b and c.
+		s.Schedule(3*time.Millisecond, func() {
+			order = append(order, "past")
+			if s.Now() != 10*time.Millisecond {
+				t.Errorf("clamped event fired at %v, want 10ms", s.Now())
+			}
+		})
+	})
+	s.Schedule(10*time.Millisecond, add("b"))
+	s.Schedule(10*time.Millisecond, add("c"))
+	s.Schedule(15*time.Millisecond, add("later"))
+	s.Run(time.Second)
+	want := []string{"a", "b", "c", "past", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSimSameTimeSeqOrderAcrossSources checks FIFO among same-timestamp
+// events regardless of how they were scheduled (Schedule, After, Every all
+// share the seq counter).
+func TestSimSameTimeSeqOrderAcrossSources(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(5*time.Millisecond, func() { order = append(order, 0) })
+	s.After(5*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(5*time.Millisecond, func() {
+		order = append(order, 2)
+		s.After(0, func() { order = append(order, 3) }) // same instant, fresh seq
+	})
+	s.Schedule(5*time.Millisecond, func() { order = append(order, 4) })
+	s.Run(time.Second)
+	want := []int{0, 1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestSimPastEventsClamped(t *testing.T) {
 	s := NewSim()
 	fired := false

@@ -59,11 +59,24 @@ func (p *delayProfile) update(w int, delay float64, now int64) {
 // while fewer than two points exist or nothing changed.
 func (p *delayProfile) refit(now int64) {
 	if p.staleAfter > 0 && len(p.points) > 2 {
+		// Collect stale windows and delete them in sorted order: ranging over
+		// the map directly would make the survivors of the len>2 floor depend
+		// on Go's randomized map iteration order, and with it the whole
+		// protocol trajectory — run-to-run nondeterminism the experiment
+		// harnesses' byte-identical-output contract forbids.
+		var stale []int
 		for w, pt := range p.points {
-			if now-pt.stamp > p.staleAfter && len(p.points) > 2 {
-				delete(p.points, w)
-				p.dirty = true
+			if now-pt.stamp > p.staleAfter {
+				stale = append(stale, w)
 			}
+		}
+		sort.Ints(stale)
+		for _, w := range stale {
+			if len(p.points) <= 2 {
+				break
+			}
+			delete(p.points, w)
+			p.dirty = true
 		}
 		p.maxW = 0
 		for w := range p.points {
