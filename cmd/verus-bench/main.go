@@ -7,16 +7,23 @@
 // pool sized by -parallel; output is byte-identical at every setting, and
 // -parallel 1 reproduces the serial path.
 //
+// -benchjson writes per-harness wall-times to a JSON file, the format the
+// repo's BENCH_*.json perf-trajectory files use; -cpuprofile/-memprofile
+// write pprof profiles of the run for local hot-path work.
+//
 // Usage:
 //
 //	verus-bench [-quick] [-only fig8,table1,...] [-seed N] [-parallel N]
+//	            [-benchjson out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,11 +59,47 @@ func parseOnly(s string) (map[string]bool, error) {
 	return want, nil
 }
 
+// harnessTiming is one harness's wall time within a bench report.
+type harnessTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport is the -benchjson output: enough run metadata to make the
+// numbers comparable across commits, plus per-harness wall times. The
+// committed BENCH_*.json trajectory files embed reports of this shape.
+type benchReport struct {
+	GoVersion    string          `json:"go_version"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Quick        bool            `json:"quick"`
+	Seed         int64           `json:"seed"`
+	Parallel     int             `json:"parallel"`
+	Harnesses    []harnessTiming `json:"harnesses"`
+	TotalSeconds float64         `json:"total_seconds"`
+}
+
+// marshalReport renders the report as indented JSON with a trailing newline.
+func marshalReport(r benchReport) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "verus-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
+	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	// Validate -only before any experiment runs, so a typo costs nothing.
@@ -64,6 +107,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	macro := experiments.DefaultMacroOptions()
@@ -86,6 +141,14 @@ func main() {
 
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Seed:       *seed,
+		Parallel:   *parallel,
+	}
+
 	run := func(id, note string, f func() string) {
 		if !sel(id) {
 			return
@@ -93,7 +156,10 @@ func main() {
 		start := time.Now()
 		fmt.Printf("==== %s (%s) ====\n", strings.ToUpper(id), note)
 		fmt.Println(f())
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))
+		report.Harnesses = append(report.Harnesses, harnessTiming{ID: id, Seconds: elapsed.Seconds()})
+		report.TotalSeconds += elapsed.Seconds()
 	}
 
 	run("fig1", "LTE burst arrivals", func() string { return experiments.Figure1(*seed).Render() })
@@ -115,4 +181,27 @@ func main() {
 	run("fig14", "Verus vs Cubic", func() string { return experiments.Figure14(micro).Render() })
 	run("fig15", "static vs updating profile", func() string { return experiments.Figure15(micro).Render() })
 	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed, *parallel).Render() })
+
+	if *benchjson != "" {
+		b, err := marshalReport(report)
+		if err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		if err := os.WriteFile(*benchjson, b, 0o644); err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		fmt.Printf("[wrote %d harness timings to %s]\n", len(report.Harnesses), *benchjson)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
 }

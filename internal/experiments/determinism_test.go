@@ -1,6 +1,14 @@
 package experiments
 
 import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -61,6 +69,93 @@ func TestGoldenSerialParallelEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_digests.txt from the current implementation")
+
+const goldenDigestPath = "testdata/golden_digests.txt"
+
+// TestGoldenReferenceDigests compares every harness render against SHA-256
+// digests committed in-repo. The digests were captured before the PR 2
+// hot-path optimizations (spline segment precomputation, sorted-slice knot
+// store, 4-ary event heap): those rewrites restructure data layout and
+// control flow but must not reorder a single floating-point operation, so
+// the rendered tables stay byte-identical forever. A digest mismatch means
+// some change silently altered the arithmetic — which the serial-vs-parallel
+// equivalence test alone cannot see, since both sides would drift together.
+//
+// After an *intentional* output change (new harness behavior, changed
+// clamps), regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenReferenceDigests -update-golden
+func TestGoldenReferenceDigests(t *testing.T) {
+	got := make(map[string]string)
+	var order []string
+	for _, tc := range goldenCases() {
+		sum := sha256.Sum256([]byte(tc.render(8)))
+		got[tc.name] = fmt.Sprintf("%x", sum)
+		order = append(order, tc.name)
+	}
+	if *updateGolden {
+		var b strings.Builder
+		for _, name := range order {
+			fmt.Fprintf(&b, "%s %s\n", name, got[name])
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenDigestPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDigestPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenDigestPath, len(order))
+		return
+	}
+	want := readGoldenDigests(t)
+	for _, name := range order {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no committed digest (run with -update-golden to add)", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: render digest %s != committed %s — output changed from the pre-optimization reference",
+				name, got[name][:16], w[:16])
+		}
+	}
+	// Stale entries signal a renamed/removed harness whose digest should go.
+	var stale []string
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("%s: committed digest has no matching golden case", name)
+	}
+}
+
+func readGoldenDigests(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("no committed golden digests (%v); run with -update-golden first", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
 }
 
 // TestGoldenSeedSensitivity guards against the trivial way the equivalence

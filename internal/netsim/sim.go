@@ -9,43 +9,46 @@
 // capture throughput and per-packet delay.
 package netsim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
-// Event is a scheduled callback.
+// event is a scheduled callback. One-shot events carry fn; recurring events
+// carry a timer and reschedule themselves when they fire, so an Every tick
+// reuses one timer allocation for the lifetime of the timer instead of
+// growing a closure chain.
 type event struct {
 	at  time.Duration
 	seq uint64 // tiebreaker: FIFO among same-time events
 	fn  func()
+	t   *timer // non-nil for recurring events; fn is nil then
 }
 
-type eventHeap []event
+// timer is the Sim-owned state of one Every registration.
+type timer struct {
+	interval time.Duration
+	fn       func()
+	stopped  bool
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, insertion sequence) — a strict total
+// order, so the pop sequence is identical for any heap arity or layout.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim is the event loop. The zero value is not usable; construct with NewSim.
 // All simulation entities must be driven from a single goroutine.
+//
+// The pending set is a 4-ary heap in a flat []event: no container/heap
+// interface boxing (which allocated on every push), shallower sift paths
+// than a binary heap, and slice storage whose capacity is reused across
+// push/pop cycles — steady-state scheduling allocates nothing.
 type Sim struct {
-	now  time.Duration
-	heap eventHeap
-	seq  uint64
+	now    time.Duration
+	events []event
+	seq    uint64
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -54,6 +57,55 @@ func NewSim() *Sim { return &Sim{} }
 // Now returns the current simulated time.
 func (s *Sim) Now() time.Duration { return s.now }
 
+// push inserts e, restoring the heap invariant by sifting up.
+func (s *Sim) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(s.events[i], s.events[p]) {
+			break
+		}
+		s.events[i], s.events[p] = s.events[p], s.events[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down. The vacated slot is zeroed so the slice does not pin the
+// callback (and whatever it closes over) after the event has fired.
+func (s *Sim) pop() event {
+	ev := s.events[0]
+	last := len(s.events) - 1
+	s.events[0] = s.events[last]
+	s.events[last] = event{}
+	s.events = s.events[:last]
+	n := last
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(s.events[c], s.events[min]) {
+				min = c
+			}
+		}
+		if !eventLess(s.events[min], s.events[i]) {
+			break
+		}
+		s.events[i], s.events[min] = s.events[min], s.events[i]
+		i = min
+	}
+	return ev
+}
+
 // Schedule runs fn at the given absolute simulated time. Times in the past
 // are clamped to now (the event runs next).
 func (s *Sim) Schedule(at time.Duration, fn func()) {
@@ -61,39 +113,49 @@ func (s *Sim) Schedule(at time.Duration, fn func()) {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.heap, event{at: at, seq: s.seq, fn: fn})
+	s.push(event{at: at, seq: s.seq, fn: fn})
 }
 
 // After runs fn d from now.
 func (s *Sim) After(d time.Duration, fn func()) { s.Schedule(s.now+d, fn) }
 
 // Every runs fn every interval, starting one interval from now, until the
-// returned stop function is called.
+// returned stop function is called. The registration is one timer object
+// for its whole lifetime: each firing reschedules the same entry, so
+// steady-state ticking allocates nothing.
 func (s *Sim) Every(interval time.Duration, fn func()) (stop func()) {
 	if interval <= 0 {
 		panic("netsim: Every interval must be positive")
 	}
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			s.After(interval, tick)
-		}
-	}
-	s.After(interval, tick)
-	return func() { stopped = true }
+	t := &timer{interval: interval, fn: fn}
+	s.seq++
+	s.push(event{at: s.now + interval, seq: s.seq, t: t})
+	return func() { t.stopped = true }
 }
 
 // Run processes events in time order until the queue empties or the next
 // event is beyond `until`, then advances the clock to `until`.
+//
+// A recurring event fires its timer's callback first and reschedules after,
+// claiming a fresh sequence number at that point — the same ordering the
+// previous closure-chain Every produced, so same-time FIFO behavior is
+// unchanged.
 func (s *Sim) Run(until time.Duration) {
-	for len(s.heap) > 0 && s.heap[0].at <= until {
-		e := heap.Pop(&s.heap).(event)
+	for len(s.events) > 0 && s.events[0].at <= until {
+		e := s.pop()
 		s.now = e.at
+		if e.t != nil {
+			t := e.t
+			if t.stopped {
+				continue
+			}
+			t.fn()
+			if !t.stopped {
+				s.seq++
+				s.push(event{at: s.now + t.interval, seq: s.seq, t: t})
+			}
+			continue
+		}
 		e.fn()
 	}
 	if until > s.now {
@@ -102,4 +164,4 @@ func (s *Sim) Run(until time.Duration) {
 }
 
 // Pending returns the number of queued events (useful in tests).
-func (s *Sim) Pending() int { return len(s.heap) }
+func (s *Sim) Pending() int { return len(s.events) }

@@ -4,6 +4,16 @@
 // implementation with identical semantics: interpolate a set of (x, y) knots
 // with a C² piecewise cubic whose second derivative vanishes at the
 // endpoints, and extrapolate linearly beyond the knot range.
+//
+// The representation is optimized for the delay profiler's access pattern —
+// thousands of evaluations on a rising grid per 5 ms epoch, one refit per
+// second: all per-segment cubic coefficients are precomputed at fit time, a
+// cursor-style Evaluator advances the segment index incrementally across a
+// monotone scan (O(n + steps) instead of O(steps·log n)), and RefitSorted
+// rebuilds a spline in place with zero allocations once its buffers are
+// warm. Every coefficient is computed with the exact floating-point
+// expressions the original per-call Eval used, so evaluation results are
+// bit-identical to the naive formulation (the equivalence tests pin this).
 package spline
 
 import (
@@ -11,12 +21,27 @@ import (
 	"sort"
 )
 
-// Spline is an immutable natural cubic spline fitted to a set of knots.
+// Spline is a natural cubic spline fitted to a set of knots. Construct with
+// Fit, or refit an existing value in place with RefitSorted. A Spline is
+// immutable between refits; it must not be refitted while another goroutine
+// evaluates it.
 type Spline struct {
 	xs []float64
 	ys []float64
 	// second derivatives at the knots (natural boundary: m[0]=m[n-1]=0)
 	m []float64
+
+	// Precomputed per-segment cubic coefficients (len n-1). The value on
+	// segment i at x is ys[i] + dx*(b[i] + dx*(c[i] + dx*d[i])) with
+	// dx = ((x-xs[i])/h[i])*h[i] — the same operation sequence as computing
+	// the coefficients inline at every call, hoisted to fit time.
+	h, b, c, d []float64
+
+	// Endpoint slopes for linear extrapolation beyond the knot range.
+	slopeLo, slopeHi float64
+
+	// Tridiagonal-solve workspace, reused across refits.
+	scratch []float64
 }
 
 // ErrTooFewPoints is returned when fewer than two distinct x values are
@@ -31,15 +56,59 @@ func Fit(xs, ys []float64) (*Spline, error) {
 		return nil, errors.New("spline: xs and ys length mismatch")
 	}
 	x, y := dedupe(xs, ys)
-	n := len(x)
-	if n < 2 {
+	if len(x) < 2 {
 		return nil, ErrTooFewPoints
 	}
-	m := make([]float64, n)
-	if n > 2 {
-		solveNatural(x, y, m)
+	s := &Spline{}
+	s.refitSorted(x, y)
+	return s, nil
+}
+
+// RefitSorted refits the spline in place through points whose x values are
+// strictly increasing (the delay profiler's knot store maintains exactly
+// that invariant). All internal buffers are reused, so a refit at or below
+// the high-water-mark point count performs no allocation. The fitted curve
+// is identical — bit for bit — to Fit on the same points.
+func (s *Spline) RefitSorted(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return errors.New("spline: xs and ys length mismatch")
 	}
-	return &Spline{xs: x, ys: y, m: m}, nil
+	if len(xs) < 2 {
+		return ErrTooFewPoints
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return errors.New("spline: RefitSorted requires strictly increasing x")
+		}
+	}
+	s.xs = append(s.xs[:0], xs...)
+	s.ys = append(s.ys[:0], ys...)
+	s.refitSorted(s.xs, s.ys)
+	return nil
+}
+
+// refitSorted installs the (sorted, distinct) knots and computes the solve
+// plus all per-segment coefficients. The slices are adopted, not copied.
+func (s *Spline) refitSorted(x, y []float64) {
+	n := len(x)
+	s.xs, s.ys = x, y
+	s.m = growFloats(s.m, n)
+	for i := range s.m {
+		s.m[i] = 0
+	}
+	if n > 2 {
+		s.solveNatural()
+	}
+	s.computeSegments()
+}
+
+// growFloats returns a slice of length n, reusing buf's storage when it is
+// large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // dedupe sorts points by x and averages the y values of duplicate x.
@@ -64,15 +133,19 @@ func dedupe(xs, ys []float64) (x, y []float64) {
 	return x, y
 }
 
-// solveNatural fills m with the second derivatives of the natural cubic
-// spline through (x, y) via the standard tridiagonal (Thomas) solve.
-func solveNatural(x, y, m []float64) {
+// solveNatural fills s.m with the second derivatives of the natural cubic
+// spline through the knots via the standard tridiagonal (Thomas) solve. The
+// a/b/c/d bands live in s.scratch; every entry the elimination reads is
+// written by the setup loop first, so stale scratch contents are harmless.
+func (s *Spline) solveNatural() {
+	x, y, m := s.xs, s.ys, s.m
 	n := len(x)
+	s.scratch = growFloats(s.scratch, 4*n)
 	// Subdiagonal a, diagonal b, superdiagonal c, rhs d — for interior knots.
-	a := make([]float64, n)
-	b := make([]float64, n)
-	c := make([]float64, n)
-	d := make([]float64, n)
+	a := s.scratch[0:n]
+	b := s.scratch[n : 2*n]
+	c := s.scratch[2*n : 3*n]
+	d := s.scratch[3*n : 4*n]
 	for i := 1; i < n-1; i++ {
 		h0 := x[i] - x[i-1]
 		h1 := x[i+1] - x[i]
@@ -93,6 +166,31 @@ func solveNatural(x, y, m []float64) {
 	}
 }
 
+// computeSegments precomputes the per-segment Hermite coefficients and the
+// endpoint slopes, using the exact expressions the pre-computation-free Eval
+// and slopeAt used per call.
+func (s *Spline) computeSegments() {
+	n := len(s.xs)
+	s.h = growFloats(s.h, n-1)
+	s.b = growFloats(s.b, n-1)
+	s.c = growFloats(s.c, n-1)
+	s.d = growFloats(s.d, n-1)
+	for i := 0; i < n-1; i++ {
+		h := s.xs[i+1] - s.xs[i]
+		s.h[i] = h
+		s.b[i] = (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.m[i]+s.m[i+1])
+		s.c[i] = s.m[i] / 2
+		s.d[i] = (s.m[i+1] - s.m[i]) / (6 * h)
+	}
+	// The left extrapolation slope is segment 0's linear coefficient; the
+	// right one needs the one-sided form at the last knot. (With n == 2 both
+	// reduce to the chord slope: m is all zero, and subtracting h/6·0 leaves
+	// the chord term bit-exact.)
+	s.slopeLo = s.b[0]
+	hn := s.xs[n-1] - s.xs[n-2]
+	s.slopeHi = (s.ys[n-1]-s.ys[n-2])/hn + hn/6*(s.m[n-2]+2*s.m[n-1])
+}
+
 // MinX returns the smallest knot x.
 func (s *Spline) MinX() float64 { return s.xs[0] }
 
@@ -102,70 +200,133 @@ func (s *Spline) MaxX() float64 { return s.xs[len(s.xs)-1] }
 // NumKnots returns the number of distinct knots.
 func (s *Spline) NumKnots() int { return len(s.xs) }
 
+// Ready reports whether the spline has been fitted (false for a zero value).
+func (s *Spline) Ready() bool { return len(s.xs) >= 2 }
+
+// searchSegment returns the index i of the segment [xs[i], xs[i+1]] that
+// evaluates x, for xs[0] < x < xs[n-1]. Segments are left-closed: an x
+// exactly on knot k starts segment k; an x strictly between knots belongs
+// to the segment of the knot on its left.
+func (s *Spline) searchSegment(x float64) int {
+	// First index with xs[i] >= x; i >= 1 because x > xs[0], and i <= n-1
+	// because x < xs[n-1].
+	i := sort.SearchFloat64s(s.xs, x)
+	if s.xs[i] > x {
+		i--
+	}
+	return i
+}
+
+// evalSegment evaluates segment i at x (which must lie in the segment's
+// left-closed range for the cubic to be the interpolant).
+func (s *Spline) evalSegment(i int, x float64) float64 {
+	h := s.h[i]
+	dx := (x - s.xs[i]) / h * h
+	return s.ys[i] + dx*(s.b[i]+dx*(s.c[i]+dx*s.d[i]))
+}
+
 // Eval evaluates the spline at x. Outside [MinX, MaxX] the spline is
 // extended linearly with the slope at the nearest endpoint.
 func (s *Spline) Eval(x float64) float64 {
 	n := len(s.xs)
 	if x <= s.xs[0] {
-		return s.ys[0] + s.slopeAt(0)*(x-s.xs[0])
+		return s.ys[0] + s.slopeLo*(x-s.xs[0])
 	}
 	if x >= s.xs[n-1] {
-		return s.ys[n-1] + s.slopeAt(n-1)*(x-s.xs[n-1])
+		return s.ys[n-1] + s.slopeHi*(x-s.xs[n-1])
 	}
-	// Find segment i with xs[i] <= x < xs[i+1].
-	i := sort.SearchFloat64s(s.xs, x)
-	if i > 0 && (i == n || s.xs[i] > x) {
-		i--
-	}
-	h := s.xs[i+1] - s.xs[i]
-	t := (x - s.xs[i]) / h
-	// Cubic Hermite form from second derivatives.
-	a := s.ys[i]
-	bcoef := (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.m[i]+s.m[i+1])
-	ccoef := s.m[i] / 2
-	dcoef := (s.m[i+1] - s.m[i]) / (6 * h)
-	dx := t * h
-	return a + dx*(bcoef+dx*(ccoef+dx*dcoef))
+	return s.evalSegment(s.searchSegment(x), x)
 }
 
-// slopeAt returns the first derivative of the spline at knot i, used for
-// linear extrapolation.
-func (s *Spline) slopeAt(i int) float64 {
+// Evaluator is a segment cursor for evaluating the spline at many points.
+// For a non-decreasing sequence of x values the cursor advances segments
+// incrementally, making a full grid scan O(n + steps) rather than
+// O(steps·log n); a backwards jump falls back to a binary search, so results
+// equal Eval for any input order. The zero Evaluator is not usable; obtain
+// one from Spline.Evaluator. It is invalidated by a refit.
+type Evaluator struct {
+	s   *Spline
+	seg int
+}
+
+// Evaluator returns a fresh segment cursor positioned at the first segment.
+func (s *Spline) Evaluator() Evaluator { return Evaluator{s: s} }
+
+// Eval evaluates the spline at x, identical in value to Spline.Eval.
+func (e *Evaluator) Eval(x float64) float64 {
+	s := e.s
 	n := len(s.xs)
-	if n == 2 {
-		return (s.ys[1] - s.ys[0]) / (s.xs[1] - s.xs[0])
+	if x <= s.xs[0] {
+		return s.ys[0] + s.slopeLo*(x-s.xs[0])
 	}
-	if i == 0 {
-		h := s.xs[1] - s.xs[0]
-		return (s.ys[1]-s.ys[0])/h - h/6*(2*s.m[0]+s.m[1])
+	if x >= s.xs[n-1] {
+		return s.ys[n-1] + s.slopeHi*(x-s.xs[n-1])
 	}
-	if i == n-1 {
-		h := s.xs[n-1] - s.xs[n-2]
-		return (s.ys[n-1]-s.ys[n-2])/h + h/6*(s.m[n-2]+2*s.m[n-1])
+	if x < s.xs[e.seg] {
+		// Non-monotone use: re-seek instead of returning the wrong segment.
+		e.seg = s.searchSegment(x)
+		return s.evalSegment(e.seg, x)
 	}
-	h := s.xs[i+1] - s.xs[i]
-	return (s.ys[i+1]-s.ys[i])/h - h/6*(2*s.m[i]+s.m[i+1])
+	for e.seg < n-2 && x >= s.xs[e.seg+1] {
+		e.seg++
+	}
+	return s.evalSegment(e.seg, x)
 }
 
-// InverseMax returns the largest x in [lo, hi] (scanned on a grid of `steps`
-// points) whose spline value does not exceed y. This is the delay-profile
-// lookup: the profile maps sending window → delay, and Verus needs the
-// largest window whose predicted delay stays within the target. If even the
-// value at lo exceeds y, it returns lo; ok reports whether any grid point
-// satisfied the bound.
-func (s *Spline) InverseMax(y, lo, hi float64, steps int) (x float64, ok bool) {
-	if steps < 2 {
-		steps = 2
+// EvalGrid evaluates the spline at the grid lo + k*step for
+// k = 0..len(out)-1, writing the results into out. Each grid point is
+// computed exactly as Eval(lo + float64(k)*step) — same values bit for bit.
+// For step >= 0 the grid is non-decreasing, so the scan runs in three
+// phases (left extrapolation, interior, right extrapolation) with one
+// incremental segment cursor and the current segment's coefficients hoisted
+// into a tight inner loop — no per-point search, call, or bounds-checked
+// coefficient load. A negative step falls back to point-wise Eval.
+func (s *Spline) EvalGrid(lo, step float64, out []float64) {
+	if step < 0 {
+		for k := range out {
+			out[k] = s.Eval(lo + float64(k)*step)
+		}
+		return
 	}
-	best := lo
-	found := false
-	step := (hi - lo) / float64(steps-1)
-	for k := 0; k < steps; k++ {
-		xk := lo + float64(k)*step
-		if s.Eval(xk) <= y {
-			best = xk
-			found = true
+	n := len(s.xs)
+	nOut := len(out)
+	x0, y0 := s.xs[0], s.ys[0]
+	xN, yN := s.xs[n-1], s.ys[n-1]
+	k := 0
+	for ; k < nOut; k++ {
+		x := lo + float64(k)*step
+		if !(x <= x0) {
+			break
+		}
+		out[k] = y0 + s.slopeLo*(x-x0)
+	}
+	seg := 0
+	for k < nOut {
+		x := lo + float64(k)*step
+		if x >= xN {
+			break
+		}
+		for seg < n-2 && x >= s.xs[seg+1] {
+			seg++
+		}
+		// next is the segment's right knot: the inner loop owns every grid
+		// point below it. For the last segment next == xN, so the inner loop
+		// also yields exactly where right extrapolation takes over.
+		next := s.xs[seg+1]
+		xi, h := s.xs[seg], s.h[seg]
+		yi, bi, ci, di := s.ys[seg], s.b[seg], s.c[seg], s.d[seg]
+		for k < nOut {
+			x = lo + float64(k)*step
+			if x >= next {
+				break
+			}
+			dx := (x - xi) / h * h
+			out[k] = yi + dx*(bi+dx*(ci+dx*di))
+			k++
 		}
 	}
-	return best, found
+	for ; k < nOut; k++ {
+		x := lo + float64(k)*step
+		out[k] = yN + s.slopeHi*(x-xN)
+	}
 }

@@ -3,6 +3,7 @@ package spline
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -169,79 +170,172 @@ func TestQuickKnotInterpolation(t *testing.T) {
 	}
 }
 
-func TestInverseMaxMonotoneCurve(t *testing.T) {
-	// Increasing delay profile: delay = w^1.5 over w in [1, 100].
-	var xs, ys []float64
-	for w := 1.0; w <= 100; w++ {
-		xs = append(xs, w)
-		ys = append(ys, math.Pow(w, 1.5))
-	}
-	s, err := Fit(xs, ys)
+// TestSearchSegmentBoundaries pins the left-closed segment convention: an x
+// exactly on knot k starts segment k, and anything strictly between knots
+// belongs to the left knot's segment. (searchSegment is only defined for
+// xs[0] < x < xs[n-1]; the endpoints themselves take the extrapolation
+// branches of Eval.)
+func TestSearchSegmentBoundaries(t *testing.T) {
+	s, err := Fit([]float64{0, 1, 2.5, 4, 7}, []float64{0, 1, 2, 3, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Largest w with w^1.5 <= 125 is 25.
-	x, ok := s.InverseMax(125, 1, 100, 400)
-	if !ok {
-		t.Fatal("expected a feasible window")
+	cases := []struct {
+		name string
+		x    float64
+		want int
+	}{
+		{"between first two knots", 0.5, 0},
+		{"just above first knot", math.Nextafter(0, 1), 0},
+		{"just below second knot", math.Nextafter(1, 0), 0},
+		{"exactly on interior knot", 1, 1},
+		{"just above interior knot", math.Nextafter(1, 2), 1},
+		{"mid interior segment", 3.0, 2},
+		{"exactly on knot 2.5", 2.5, 2},
+		{"exactly on penultimate knot", 4, 3},
+		{"just below last knot", math.Nextafter(7, 0), 3},
 	}
-	if math.Abs(x-25) > 1 {
-		t.Fatalf("InverseMax = %v, want ~25", x)
-	}
-}
-
-func TestInverseMaxInfeasible(t *testing.T) {
-	s, err := Fit([]float64{1, 10}, []float64{100, 200})
-	if err != nil {
-		t.Fatal(err)
-	}
-	x, ok := s.InverseMax(50, 1, 10, 50)
-	if ok {
-		t.Fatal("no window should satisfy delay <= 50")
-	}
-	if x != 1 {
-		t.Fatalf("infeasible lookup should return lo, got %v", x)
-	}
-}
-
-func TestInverseMaxStepsClamped(t *testing.T) {
-	s, err := Fit([]float64{0, 10}, []float64{0, 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	x, ok := s.InverseMax(10, 0, 10, 1) // steps < 2 clamps to 2
-	if !ok || x != 10 {
-		t.Fatalf("got (%v,%v), want (10,true)", x, ok)
-	}
-}
-
-// Property: InverseMax result never exceeds hi, never undershoots lo, and the
-// spline value at the result respects the bound when ok.
-func TestQuickInverseMaxRespectsBound(t *testing.T) {
-	f := func(seed int64, target float64) bool {
-		if math.IsNaN(target) || math.IsInf(target, 0) {
-			return true
+	for _, tc := range cases {
+		if got := s.searchSegment(tc.x); got != tc.want {
+			t.Errorf("%s: searchSegment(%v) = %d, want %d", tc.name, tc.x, got, tc.want)
 		}
-		rng := rand.New(rand.NewSource(seed))
-		xs := []float64{0, 5, 10, 15, 20}
-		ys := make([]float64, len(xs))
-		for i := range ys {
-			ys[i] = rng.Float64() * 50
+	}
+}
+
+// TestEvaluatorMatchesEval pins bit-identity between the cursor evaluator
+// and point-wise Eval, on rising grids (the intended use), on reversed
+// grids (the re-seek fallback), and across knot-exact points.
+func TestEvaluatorMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(40)
+		xs := make([]float64, k)
+		ys := make([]float64, k)
+		x := 0.0
+		for i := range xs {
+			x += 0.1 + rng.Float64()*3
+			xs[i] = x
+			ys[i] = rng.NormFloat64() * 50
 		}
 		s, err := Fit(xs, ys)
 		if err != nil {
-			return false
+			t.Fatal(err)
 		}
-		x, ok := s.InverseMax(target, 0, 20, 100)
-		if x < 0 || x > 20 {
-			return false
+		lo := s.MinX() - 2
+		hi := s.MaxX() + 2
+		const steps = 257
+		step := (hi - lo) / (steps - 1)
+		grid := make([]float64, 0, steps+k)
+		for i := 0; i < steps; i++ {
+			grid = append(grid, lo+float64(i)*step)
 		}
-		if ok && s.Eval(x) > target+1e-9 {
-			return false
+		grid = append(grid, xs...) // knot-exact points
+		sort.Float64s(grid)
+
+		e := s.Evaluator()
+		for _, g := range grid {
+			if got, want := e.Eval(g), s.Eval(g); got != want {
+				t.Fatalf("trial %d: cursor Eval(%v) = %v, Eval = %v (must be bit-identical)", trial, g, got, want)
+			}
 		}
-		return true
+		// Reverse order exercises the re-seek fallback.
+		for i := len(grid) - 1; i >= 0; i-- {
+			if got, want := e.Eval(grid[i]), s.Eval(grid[i]); got != want {
+				t.Fatalf("trial %d: reversed cursor Eval(%v) = %v, Eval = %v", trial, grid[i], got, want)
+			}
+		}
+		out := make([]float64, steps)
+		s.EvalGrid(lo, step, out)
+		for i := range out {
+			if want := s.Eval(lo + float64(i)*step); out[i] != want {
+				t.Fatalf("trial %d: EvalGrid[%d] = %v, Eval = %v", trial, i, out[i], want)
+			}
+		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+}
+
+// TestRefitSortedMatchesFit pins that the in-place refit path produces
+// bit-identical curves to a fresh Fit, across successive refits reusing the
+// same buffers (growing and shrinking the knot count).
+func TestRefitSortedMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var s Spline
+	if s.Ready() {
+		t.Fatal("zero Spline reports Ready")
+	}
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(60)
+		xs := make([]float64, k)
+		ys := make([]float64, k)
+		x := 0.0
+		for i := range xs {
+			x += 0.5 + rng.Float64()*2
+			xs[i] = x
+			ys[i] = rng.NormFloat64() * 20
+		}
+		if err := s.RefitSorted(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Fit(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := xs[0]-3, xs[k-1]+3
+		for g := 0; g < 200; g++ {
+			xq := lo + (hi-lo)*float64(g)/199
+			if got, want := s.Eval(xq), ref.Eval(xq); got != want {
+				t.Fatalf("trial %d: refit Eval(%v) = %v, Fit Eval = %v", trial, xq, got, want)
+			}
+		}
+	}
+}
+
+func TestRefitSortedErrors(t *testing.T) {
+	var s Spline
+	if err := s.RefitSorted([]float64{1}, []float64{1}); err != ErrTooFewPoints {
+		t.Errorf("single point: got %v, want ErrTooFewPoints", err)
+	}
+	if err := s.RefitSorted([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := s.RefitSorted([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing x should error")
+	}
+	if err := s.RefitSorted([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("decreasing x should error")
+	}
+	// A failed refit must not clobber a previously fitted state.
+	if err := s.RefitSorted([]float64{0, 1}, []float64{0, 2}); err != nil {
 		t.Fatal(err)
+	}
+	if err := s.RefitSorted([]float64{5, 3}, []float64{0, 0}); err == nil {
+		t.Fatal("decreasing x should error")
+	}
+	if got := s.Eval(0.5); got != 1 {
+		t.Errorf("state clobbered by failed refit: Eval(0.5) = %v, want 1", got)
+	}
+}
+
+// TestRefitSortedZeroAllocs asserts the steady-state refit path allocates
+// nothing once buffers are warm.
+func TestRefitSortedZeroAllocs(t *testing.T) {
+	n := 128
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = float64(i%7) + 1
+	}
+	var s Spline
+	if err := s.RefitSorted(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.RefitSorted(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RefitSorted with warm buffers: %v allocs/run, want 0", allocs)
 	}
 }

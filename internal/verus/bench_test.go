@@ -1,0 +1,70 @@
+package verus
+
+import (
+	"math"
+	"testing"
+)
+
+// benchProfile builds a delay profile with n knots at windows 1..n, refit
+// and ready for lookups — the steady state of a long-running flow.
+func benchProfile(n int) *delayProfile {
+	p := newDelayProfile(0.875)
+	for w := 1; w <= n; w++ {
+		p.update(w, 0.02+0.0004*math.Pow(float64(w), 1.3), 1)
+	}
+	p.refit(1)
+	return p
+}
+
+// BenchmarkProfileUpdate measures folding an ack's (window, delay) sample
+// into an existing knot — the per-ack hot path.
+func BenchmarkProfileUpdate(b *testing.B) {
+	p := benchProfile(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.update(1+i%256, 0.025, int64(i))
+	}
+}
+
+// BenchmarkProfileRefit measures re-interpolating a 256-knot profile, the
+// once-per-second (plus range-growth-triggered) spline rebuild.
+func BenchmarkProfileRefit(b *testing.B) {
+	p := benchProfile(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.dirty = true
+		p.refit(int64(i + 2))
+	}
+}
+
+// BenchmarkProfileLookup measures the per-epoch window lookup at the steps
+// clamp (hi=2048 -> 4096 grid evaluations), the dominant cost of Tick.
+func BenchmarkProfileLookup(b *testing.B) {
+	p := benchProfile(256)
+	target := p.delayAt(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		w, _ := p.lookup(target, 2048)
+		sink += w
+	}
+	_ = sink
+}
+
+// BenchmarkProfileLookupSmall measures the lookup at the steps floor
+// (hi<32 -> 64 grid evaluations), the small-window regime.
+func BenchmarkProfileLookupSmall(b *testing.B) {
+	p := benchProfile(16)
+	target := p.delayAt(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		w, _ := p.lookup(target, 16)
+		sink += w
+	}
+	_ = sink
+}

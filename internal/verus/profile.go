@@ -7,12 +7,6 @@ import (
 	"repro/internal/spline"
 )
 
-// profilePoint is one (window → delay) knot with its last-update time.
-type profilePoint struct {
-	delay float64
-	stamp int64 // epoch counter of the last update
-}
-
 // delayProfile tracks the relationship between sending window and observed
 // packet delay — the paper's central data structure (§4 "Delay Profiler",
 // Fig. 5). Each acknowledgement updates the point for the window the packet
@@ -26,28 +20,63 @@ type profilePoint struct {
 // a wall of stale high-delay knots blocks the window from ever growing into
 // a newly fast channel; dropping them hands that region back to the spline's
 // extrapolation, which is the mechanism Verus uses to explore anyway.
+//
+// The knot store is three parallel slices sorted by window (wins ascending,
+// delays/stamps aligned), not a map: update is a binary search plus an
+// in-place EWMA fold (allocation-free in steady state, when the window has
+// been seen before), stale aging is a single compaction pass, and refit
+// reads the knots off in order with no sort and no per-refit allocation —
+// the xs/ys scratch and the spline's own buffers are reused across refits.
+// Sorted order also makes determinism structural: there is no map iteration
+// anywhere, so no randomized-order hazard to defend against.
 type delayProfile struct {
-	alpha      float64
-	points     map[int]profilePoint
+	alpha float64
+
+	// Parallel knot arrays, sorted by wins ascending. wins are distinct.
+	wins   []int
+	delays []float64
+	stamps []int64 // epoch counter of each knot's last update
+
 	maxW       int
-	spl        *spline.Spline
+	spl        spline.Spline // refitted in place; valid once splReady
+	splReady   bool
 	dirty      bool
 	staleAfter int64 // epochs; 0 disables aging
+
+	// Refit scratch, reused across refits.
+	xs, ys []float64
+	// Lookup grid scratch, reused across lookups (at most 4096 entries).
+	grid []float64
 }
 
 func newDelayProfile(alpha float64) *delayProfile {
-	return &delayProfile{alpha: alpha, points: make(map[int]profilePoint)}
+	return &delayProfile{alpha: alpha}
 }
 
+// numPoints returns the current knot count.
+func (p *delayProfile) numPoints() int { return len(p.wins) }
+
 // update folds a (window, delay) observation into the profile at epoch now.
+// The common case — an ack for an already-visited window — is a binary
+// search and two stores; a first visit inserts a knot, shifting the tail.
 func (p *delayProfile) update(w int, delay float64, now int64) {
 	if w < 1 || delay <= 0 {
 		return
 	}
-	if old, ok := p.points[w]; ok {
-		p.points[w] = profilePoint{delay: p.alpha*old.delay + (1-p.alpha)*delay, stamp: now}
+	i := sort.SearchInts(p.wins, w)
+	if i < len(p.wins) && p.wins[i] == w {
+		p.delays[i] = p.alpha*p.delays[i] + (1-p.alpha)*delay
+		p.stamps[i] = now
 	} else {
-		p.points[w] = profilePoint{delay: delay, stamp: now}
+		p.wins = append(p.wins, 0)
+		copy(p.wins[i+1:], p.wins[i:])
+		p.wins[i] = w
+		p.delays = append(p.delays, 0)
+		copy(p.delays[i+1:], p.delays[i:])
+		p.delays[i] = delay
+		p.stamps = append(p.stamps, 0)
+		copy(p.stamps[i+1:], p.stamps[i:])
+		p.stamps[i] = now
 	}
 	if w > p.maxW {
 		p.maxW = w
@@ -56,55 +85,55 @@ func (p *delayProfile) update(w int, delay float64, now int64) {
 }
 
 // refit ages out stale points and re-interpolates the spline. It is a no-op
-// while fewer than two points exist or nothing changed.
+// while fewer than two points exist or nothing changed. With warm buffers
+// (knot count at or below its high-water mark) it performs no allocation.
 func (p *delayProfile) refit(now int64) {
-	if p.staleAfter > 0 && len(p.points) > 2 {
-		// Collect stale windows and delete them in sorted order: ranging over
-		// the map directly would make the survivors of the len>2 floor depend
-		// on Go's randomized map iteration order, and with it the whole
-		// protocol trajectory — run-to-run nondeterminism the experiment
-		// harnesses' byte-identical-output contract forbids.
-		var stale []int
-		for w, pt := range p.points {
-			if now-pt.stamp > p.staleAfter {
-				stale = append(stale, w)
+	if p.staleAfter > 0 && len(p.wins) > 2 {
+		// Compact stale knots in ascending window order, but never below two
+		// survivors: the floor is checked before each drop, so when only two
+		// knots remain every later knot is kept — the same semantics as the
+		// pre-compaction implementation, which deleted from a sorted stale
+		// list and stopped at the floor.
+		n := len(p.wins)
+		kept, removed := 0, 0
+		for i := 0; i < n; i++ {
+			if now-p.stamps[i] > p.staleAfter && n-removed > 2 {
+				removed++
+				continue
 			}
+			p.wins[kept] = p.wins[i]
+			p.delays[kept] = p.delays[i]
+			p.stamps[kept] = p.stamps[i]
+			kept++
 		}
-		sort.Ints(stale)
-		for _, w := range stale {
-			if len(p.points) <= 2 {
-				break
-			}
-			delete(p.points, w)
+		if removed > 0 {
+			p.wins = p.wins[:kept]
+			p.delays = p.delays[:kept]
+			p.stamps = p.stamps[:kept]
 			p.dirty = true
 		}
 		p.maxW = 0
-		for w := range p.points {
-			if w > p.maxW {
-				p.maxW = w
-			}
+		if len(p.wins) > 0 {
+			p.maxW = p.wins[len(p.wins)-1]
 		}
 	}
-	if !p.dirty || len(p.points) < 2 {
+	if !p.dirty || len(p.wins) < 2 {
 		return
 	}
-	xs := make([]float64, 0, len(p.points))
-	for w := range p.points {
-		xs = append(xs, float64(w))
+	p.xs = p.xs[:0]
+	p.ys = p.ys[:0]
+	for i, w := range p.wins {
+		p.xs = append(p.xs, float64(w))
+		p.ys = append(p.ys, p.delays[i])
 	}
-	sort.Float64s(xs)
-	ys := make([]float64, len(xs))
-	for i, x := range xs {
-		ys[i] = p.points[int(x)].delay
-	}
-	if s, err := spline.Fit(xs, ys); err == nil {
-		p.spl = s
+	if err := p.spl.RefitSorted(p.xs, p.ys); err == nil {
+		p.splReady = true
 	}
 	p.dirty = false
 }
 
 // ready reports whether the profile has an interpolated curve to query.
-func (p *delayProfile) ready() bool { return p.spl != nil }
+func (p *delayProfile) ready() bool { return p.splReady }
 
 // lookup returns the largest window whose interpolated delay does not exceed
 // target, searching up to hi (which may extend past the observed range; the
@@ -114,8 +143,13 @@ func (p *delayProfile) ready() bool { return p.spl != nil }
 // produces — it reports found=false and returns the window with the lowest
 // predicted delay instead of collapsing to one packet. Callers should treat
 // a not-found result as "do not grow".
+//
+// The curve is evaluated with spline.EvalGrid into a reused scratch buffer:
+// the grid is rising, so the whole evaluation pass costs O(knots + steps)
+// with the segment coefficients hoisted out of the inner loop, instead of a
+// binary search per step — bit-identical values to point-wise Eval.
 func (p *delayProfile) lookup(target, hi float64) (w float64, found bool) {
-	if p.spl == nil {
+	if !p.splReady {
 		return 1, false
 	}
 	if hi < 1 {
@@ -146,9 +180,14 @@ func (p *delayProfile) lookup(target, hi float64) (w float64, found bool) {
 	// runaway.
 	dAtMaxW := p.spl.Eval(argminCeil)
 	step := (hi - 1) / float64(steps-1)
+	if cap(p.grid) < steps {
+		p.grid = make([]float64, steps)
+	}
+	grid := p.grid[:steps]
+	p.spl.EvalGrid(1, step, grid)
 	for k := 0; k < steps; k++ {
 		x := 1 + float64(k)*step
-		d := p.spl.Eval(x)
+		d := grid[k]
 		if x > argminCeil && d < dAtMaxW {
 			d = dAtMaxW
 		}
@@ -170,7 +209,7 @@ func (p *delayProfile) lookup(target, hi float64) (w float64, found bool) {
 // delayAt evaluates the interpolated curve at window w (clamped at >= 1).
 // Returns 0 when no curve exists yet.
 func (p *delayProfile) delayAt(w float64) float64 {
-	if p.spl == nil {
+	if !p.splReady {
 		return 0
 	}
 	if w < 1 {
@@ -179,16 +218,9 @@ func (p *delayProfile) delayAt(w float64) float64 {
 	return p.spl.Eval(w)
 }
 
-// snapshotPoints returns the profile's raw points sorted by window.
+// snapshotPoints returns a copy of the profile's raw points sorted by window.
 func (p *delayProfile) snapshotPoints() (windows []int, delays []float64) {
-	windows = make([]int, 0, len(p.points))
-	for w := range p.points {
-		windows = append(windows, w)
-	}
-	sort.Ints(windows)
-	delays = make([]float64, len(windows))
-	for i, w := range windows {
-		delays[i] = p.points[w].delay
-	}
+	windows = append([]int(nil), p.wins...)
+	delays = append([]float64(nil), p.delays...)
 	return windows, delays
 }

@@ -1,0 +1,259 @@
+package verus
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/spline"
+)
+
+// refProfile is the pre-PR2 delay profile, verbatim: a map[int] knot store
+// with a collect-sort-delete aging pass and a fresh sort + spline.Fit per
+// refit. It pins the sorted-slice store bit-for-bit: same surviving knots,
+// same EWMA values, same fitted curve, same lookup results.
+type refProfilePoint struct {
+	delay float64
+	stamp int64
+}
+
+type refProfile struct {
+	alpha      float64
+	points     map[int]refProfilePoint
+	maxW       int
+	spl        *spline.Spline
+	dirty      bool
+	staleAfter int64
+}
+
+func newRefProfile(alpha float64) *refProfile {
+	return &refProfile{alpha: alpha, points: make(map[int]refProfilePoint)}
+}
+
+func (p *refProfile) update(w int, delay float64, now int64) {
+	if w < 1 || delay <= 0 {
+		return
+	}
+	if old, ok := p.points[w]; ok {
+		p.points[w] = refProfilePoint{delay: p.alpha*old.delay + (1-p.alpha)*delay, stamp: now}
+	} else {
+		p.points[w] = refProfilePoint{delay: delay, stamp: now}
+	}
+	if w > p.maxW {
+		p.maxW = w
+	}
+	p.dirty = true
+}
+
+func (p *refProfile) refit(now int64) {
+	if p.staleAfter > 0 && len(p.points) > 2 {
+		var stale []int
+		for w, pt := range p.points {
+			if now-pt.stamp > p.staleAfter {
+				stale = append(stale, w)
+			}
+		}
+		sort.Ints(stale)
+		for _, w := range stale {
+			if len(p.points) <= 2 {
+				break
+			}
+			delete(p.points, w)
+			p.dirty = true
+		}
+		p.maxW = 0
+		for w := range p.points {
+			if w > p.maxW {
+				p.maxW = w
+			}
+		}
+	}
+	if !p.dirty || len(p.points) < 2 {
+		return
+	}
+	xs := make([]float64, 0, len(p.points))
+	for w := range p.points {
+		xs = append(xs, float64(w))
+	}
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = p.points[int(x)].delay
+	}
+	if s, err := spline.Fit(xs, ys); err == nil {
+		p.spl = s
+	}
+	p.dirty = false
+}
+
+func (p *refProfile) lookup(target, hi float64) (w float64, found bool) {
+	if p.spl == nil {
+		return 1, false
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	steps := int(hi) * 2
+	if steps < 64 {
+		steps = 64
+	}
+	if steps > 4096 {
+		steps = 4096
+	}
+	best := 1.0
+	argmin := 1.0
+	minDelay := math.Inf(1)
+	argminCeil := float64(p.maxW)
+	if argminCeil < 1 {
+		argminCeil = 1
+	}
+	dAtMaxW := p.spl.Eval(argminCeil)
+	step := (hi - 1) / float64(steps-1)
+	for k := 0; k < steps; k++ {
+		x := 1 + float64(k)*step
+		d := p.spl.Eval(x)
+		if x > argminCeil && d < dAtMaxW {
+			d = dAtMaxW
+		}
+		if d <= target {
+			best = x
+			found = true
+		}
+		if x <= argminCeil && d < minDelay {
+			minDelay = d
+			argmin = x
+		}
+	}
+	if !found {
+		return argmin, false
+	}
+	return best, true
+}
+
+// TestProfileMatchesReference drives the sorted-slice profile and the
+// map-based reference through identical randomized update/refit/lookup
+// sequences (with staleness aging enabled) and requires bit-identical knot
+// stores, curves, and lookup results throughout.
+func TestProfileMatchesReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		p := newDelayProfile(0.875)
+		p.staleAfter = 40
+		ref := newRefProfile(0.875)
+		ref.staleAfter = 40
+		var now int64
+		for step := 0; step < 3000; step++ {
+			now++
+			w := 1 + rng.Intn(120)
+			d := 0.01 + rng.Float64()*0.2
+			p.update(w, d, now)
+			ref.update(w, d, now)
+			if step%50 == 0 {
+				p.refit(now)
+				ref.refit(now)
+				wins, delays := p.snapshotPoints()
+				if len(wins) != len(ref.points) {
+					t.Fatalf("trial %d step %d: %d knots, reference has %d", trial, step, len(wins), len(ref.points))
+				}
+				for i, w := range wins {
+					rp, ok := ref.points[w]
+					if !ok {
+						t.Fatalf("trial %d step %d: knot %d missing from reference", trial, step, w)
+					}
+					if delays[i] != rp.delay {
+						t.Fatalf("trial %d step %d: knot %d delay %v, reference %v", trial, step, w, delays[i], rp.delay)
+					}
+				}
+				if p.maxW != ref.maxW {
+					t.Fatalf("trial %d step %d: maxW %d, reference %d", trial, step, p.maxW, ref.maxW)
+				}
+				target := 0.01 + rng.Float64()*0.25
+				hi := 1 + rng.Float64()*300
+				gw, gf := p.lookup(target, hi)
+				ww, wf := ref.lookup(target, hi)
+				if gw != ww || gf != wf {
+					t.Fatalf("trial %d step %d: lookup(%v,%v) = (%v,%v), reference (%v,%v)",
+						trial, step, target, hi, gw, gf, ww, wf)
+				}
+				if p.ready() && ref.spl != nil {
+					for q := 0; q < 20; q++ {
+						x := 1 + rng.Float64()*200
+						if got, want := p.delayAt(x), ref.spl.Eval(x); got != want {
+							t.Fatalf("trial %d step %d: delayAt(%v) = %v, reference %v", trial, step, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProfileUpdateZeroAllocs asserts the per-ack hot path — folding a
+// sample into an existing knot — never allocates.
+func TestProfileUpdateZeroAllocs(t *testing.T) {
+	p := benchProfile(128)
+	now := int64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		p.update(1+int(now)%128, 0.03, now)
+	})
+	if allocs != 0 {
+		t.Errorf("update of existing knot: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestProfileRefitZeroAllocs asserts a warm refit — scratch buffers and
+// spline buffers at their high-water mark — never allocates, including the
+// stale-aging compaction pass.
+func TestProfileRefitZeroAllocs(t *testing.T) {
+	p := benchProfile(128)
+	p.staleAfter = 1 << 40 // aging pass runs, nothing is stale
+	p.refit(2)
+	now := int64(2)
+	allocs := testing.AllocsPerRun(100, func() {
+		now++
+		p.update(1+int(now)%128, 0.03, now)
+		p.refit(now)
+	})
+	if allocs != 0 {
+		t.Errorf("warm refit: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestProfileLookupZeroAllocs asserts the per-epoch lookup grid scan never
+// allocates (the Evaluator cursor lives on the stack).
+func TestProfileLookupZeroAllocs(t *testing.T) {
+	p := benchProfile(128)
+	target := p.delayAt(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.lookup(target, 2048)
+	})
+	if allocs != 0 {
+		t.Errorf("lookup: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestProfileStaleAgingFloor pins the aging floor across the compaction
+// rewrite: aging never drops the store below two knots even when everything
+// is stale, and the two lowest-window knots are the survivors (deletion
+// scans ascending).
+func TestProfileStaleAgingFloor(t *testing.T) {
+	p := newDelayProfile(0.875)
+	p.staleAfter = 5
+	for w := 1; w <= 10; w++ {
+		p.update(w, float64(w)*0.01, 1)
+	}
+	p.refit(100) // everything is stale
+	wins, _ := p.snapshotPoints()
+	if len(wins) != 2 {
+		t.Fatalf("aging floor: %d knots survive, want 2", len(wins))
+	}
+	// Ascending deletion order keeps the two highest windows.
+	if wins[0] != 9 || wins[1] != 10 {
+		t.Errorf("survivors = %v, want [9 10]", wins)
+	}
+	if p.maxW != 10 {
+		t.Errorf("maxW = %d, want 10", p.maxW)
+	}
+}
