@@ -1,0 +1,75 @@
+// Command verus-lint statically enforces the repository's determinism and
+// purity contracts (DESIGN.md §9). It runs the internal/analysis suite —
+// nowalltime, noglobalrand, maprange, floatorder — over the given package
+// patterns and exits non-zero on any violation, including malformed
+// //lint: suppression directives.
+//
+// Usage:
+//
+//	verus-lint [-C dir] [packages...]
+//
+// With no patterns it lints ./.... Exit status: 0 clean, 1 violations
+// found, 2 operational error (unloadable packages, bad flags).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/all"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: verus-lint [-C dir] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range all.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	count, err := Lint(os.Stdout, *dir, patterns, all.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verus-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "verus-lint: %d violation(s)\n", count)
+		os.Exit(1)
+	}
+}
+
+// Lint loads the patterns, runs every analyzer plus directive validation,
+// prints diagnostics to w in deterministic order, and returns the count.
+func Lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	pkgs, fset, err := load.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		diags = append(diags, analysis.CheckDirectives(fset, pkg.Files, analyzers)...)
+	}
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/all"
+)
+
+// TestRepoIsLintClean is the acceptance smoke test: the full analyzer suite
+// over the whole module must report nothing. Every suppression in the tree
+// is therefore a reviewed //lint: directive with a justification.
+func TestRepoIsLintClean(t *testing.T) {
+	var out bytes.Buffer
+	count, err := Lint(&out, "../..", []string{"./..."}, all.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("repo has %d lint violation(s):\n%s", count, out.String())
+	}
+}
+
+// TestLintFlagsViolations proves the binary's failure path end-to-end: a
+// scratch module with one wall-clock read in a simulation-named package
+// must yield a non-zero diagnostic count.
+func TestLintFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("netsim/clock.go", `package netsim
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+`)
+	write("netsim/rand.go", `package netsim
+
+import "math/rand"
+
+func Draw() float64 { return rand.Float64() }
+`)
+	var out bytes.Buffer
+	count, err := Lint(&out, dir, []string{"./..."}, all.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (nowalltime + noglobalrand); output:\n%s", count, out.String())
+	}
+	for _, wantSub := range []string{"[nowalltime]", "[noglobalrand]"} {
+		if !bytes.Contains(out.Bytes(), []byte(wantSub)) {
+			t.Errorf("output missing %s:\n%s", wantSub, out.String())
+		}
+	}
+}
+
+// TestLintErrorOnBadPattern pins the operational-error path (exit 2 in the
+// binary): an unloadable pattern is an error, not a clean run.
+func TestLintErrorOnBadPattern(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := Lint(&out, "../..", []string{"./does-not-exist/..."}, all.Analyzers()); err == nil {
+		t.Fatal("expected error for nonexistent package pattern")
+	}
+}

@@ -1,0 +1,21 @@
+// Package all registers the verus-lint analyzer suite in one place, so the
+// multichecker binary and the repository smoke test run the identical set.
+package all
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/floatorder"
+	"repro/internal/analysis/maprange"
+	"repro/internal/analysis/noglobalrand"
+	"repro/internal/analysis/nowalltime"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatorder.Analyzer,
+		maprange.Analyzer,
+		noglobalrand.Analyzer,
+		nowalltime.Analyzer,
+	}
+}

@@ -1,0 +1,99 @@
+// Package floatorder flags floating-point reassociation hazards in
+// digest-feeding code.
+//
+// The golden-digest contract (DESIGN.md §8) pins the SHA-256 of every
+// rendered experiment, which makes the exact rounding of every float that
+// reaches a render part of the public contract. Two rewrites silently
+// change that rounding:
+//
+//  1. Accumulating floats while ranging over a map: float addition does not
+//     reassociate, so a randomized visit order yields run-to-run digest
+//     drift even when the set of addends is identical.
+//  2. math.FMA: it fuses the multiply-add into a single rounding, so
+//     "optimizing" a*b + c into math.FMA(a, b, c) changes the low bits of
+//     digest-fed expressions.
+//
+// Sites where the result provably cannot reach a digest carry:
+//
+//	//lint:floatorder order-invariant -- <why the rounding or order cannot reach any output or digest>
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floatorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "floatorder",
+	Doc:    "flag float accumulation over randomized map order and math.FMA rewrites in golden-digest packages, where every rounding is contractual",
+	Claims: []string{"order-invariant"},
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapAccumulation(pass, n)
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if pkg, name, ok := analysis.PkgSymbol(pass.TypesInfo, sel); ok && pkg == "math" && name == "FMA" {
+						pass.Reportf(n.Pos(),
+							"math.FMA fuses the multiply-add rounding; digest-fed expressions must keep the separate a*b + c roundings")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapAccumulation flags float compound assignments inside a map range
+// body.
+func checkMapAccumulation(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range s.Lhs {
+			if isFloat(pass, lhs) {
+				pass.Reportf(s.Pos(),
+					"float accumulation over randomized map iteration order; sum over sorted keys so the rounding sequence is deterministic")
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether expr has floating-point type.
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", floatorder.Analyzer, "experiments", "mathtool")
+}

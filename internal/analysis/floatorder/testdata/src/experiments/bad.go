@@ -1,0 +1,52 @@
+// Package experiments is a floatorder fixture: a golden-digest package
+// where every float rounding is contractual.
+package experiments
+
+import "math"
+
+// MeanOverMap accumulates floats in randomized map order: the rounding
+// sequence differs run to run, so the digest drifts.
+func MeanOverMap(samples map[int]float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		sum += v // want `float accumulation over randomized map iteration order`
+	}
+	return sum / float64(len(samples))
+}
+
+// ScaleOverMap multiplies, which reassociates just as badly.
+func ScaleOverMap(weights map[string]float64) float64 {
+	prod := 1.0
+	for _, w := range weights {
+		prod *= w // want `float accumulation over randomized map iteration order`
+	}
+	return prod
+}
+
+// Fused rewrites a*b + c into a fused multiply-add, changing the low bits.
+func Fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA fuses the multiply-add rounding`
+}
+
+// Separate keeps the two roundings — the digest-stable form.
+func Separate(a, b, c float64) float64 {
+	return a*b + c
+}
+
+// SliceSum accumulates over a slice, whose order is deterministic.
+func SliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// IntOverMap accumulates integers, which commute exactly.
+func IntOverMap(counts map[string]int) int {
+	var n int
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

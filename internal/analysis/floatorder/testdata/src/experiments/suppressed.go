@@ -1,0 +1,11 @@
+package experiments
+
+// Annotated suppresses the accumulation diagnostic with a justified claim.
+func Annotated(samples map[int]float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		//lint:floatorder order-invariant -- fixture: pretend this sum is only logged, never digested
+		sum += v
+	}
+	return sum
+}

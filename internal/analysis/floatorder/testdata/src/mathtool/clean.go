@@ -1,0 +1,17 @@
+// Package mathtool is a negative fixture: outside the golden-digest
+// packages, FMA and map-order float sums are legal.
+package mathtool
+
+import "math"
+
+// Fast uses the fused form, legally.
+func Fast(a, b, c float64) float64 { return math.FMA(a, b, c) }
+
+// Sum accumulates in map order, legally.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for the analysis framework, using only the standard library.
+//
+// The trick that keeps this small: `go list -export -deps` makes the go
+// tool compile every dependency and hand back build-cache export-data
+// files, which go/importer's "gc" mode can read through a lookup function.
+// Each target package is then parsed from source and type-checked against
+// its dependencies' export data — no reimplementation of import resolution,
+// no network, no x/tools.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding its sources.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the resolution tables analyzers consult.
+	Info *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the patterns in dir, type-checks every matched (non-dependency)
+// package, and returns them sorted by import path. Test files are excluded:
+// the determinism contract governs shipped simulation code, while tests and
+// benchmarks legitimately read wall clocks and the global RNG.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// goList runs `go list -export -deps -json` on the patterns.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// StdImporter returns an importer resolving the transitive dependency
+// closure of the given stdlib packages from build-cache export data. The
+// analysistest harness uses it to type-check fixture files, which may import
+// anything from the standard library.
+func StdImporter(fset *token.FileSet, dir string, paths ...string) (types.Importer, error) {
+	pkgs, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is it imported by the listed roots?)", path)
+		}
+		return os.Open(f)
+	}), nil
+}
+
+// CheckDir parses every .go file directly under dir as one package with the
+// given import path and type-checks it with imp. Used for analysistest
+// fixtures, which live outside the module's package graph.
+func CheckDir(fset *token.FileSet, imp types.Importer, importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return check(fset, imp, importPath, dir, files, nil)
+}
+
+// check parses the named files and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, names []string, typeErr func(error)) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp, Error: typeErr}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+// Package maptool is a negative fixture: outside the simulation set, map
+// iteration order is the caller's problem and the analyzer stays silent.
+package maptool
+
+// Values collects map values in arbitrary order, legally.
+func Values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

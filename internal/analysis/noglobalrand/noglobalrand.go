@@ -1,0 +1,130 @@
+// Package noglobalrand forbids randomness that does not flow from an
+// explicit seed.
+//
+// The experiment runner derives every trial's seed with a splitmix64
+// finalizer (runner.DeriveSeed); any RNG in a simulation package must be
+// constructed from such a seed. Three patterns break that contract and are
+// flagged:
+//
+//  1. Top-level math/rand functions (rand.Float64, rand.Intn, rand.Perm,
+//     ...): they draw from the process-global source, which is shared
+//     across goroutines and — since Go 1.20 — seeded randomly at startup.
+//  2. Sources seeded from the wall clock (rand.NewSource(time.Now()...)):
+//     deterministic in form, nondeterministic in fact.
+//  3. A direct math/rand import in the experiment-harness layer (the
+//     experiments packages outside experiments/runner): harness randomness
+//     must come from the runner's derivation path (runner.NewRand) so the
+//     seed plan stays auditable in one place.
+//
+// Explicitly seeded construction — rand.New(rand.NewSource(seed)) — remains
+// legal in the leaf simulation packages (netsim, cellular, ...), which take
+// seeds as parameters. Suppressions carry:
+//
+//	//lint:noglobalrand derived-seed -- <why this RNG is still a pure function of the trial seed>
+package noglobalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// constructors are the math/rand package-level functions that build
+// explicitly-seeded values rather than touching the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Analyzer is the noglobalrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "noglobalrand",
+	Doc:    "forbid the global math/rand source, wall-clock seeding, and direct math/rand use in experiment harnesses; every RNG must be a pure function of an explicit seed",
+	Claims: []string{"derived-seed"},
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.IsSimPackage(path) {
+		return nil
+	}
+	harness := analysis.IsHarnessPackage(path)
+	for _, f := range pass.Files {
+		if harness {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "math/rand" || p == "math/rand/v2" {
+					pass.Reportf(imp.Pos(),
+						"experiment harnesses must not import %s directly; derive RNGs from the trial seed via runner.NewRand", p)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := randSymbol(pass, n.Fun); ok && constructors[name] && seedFromClock(pass, n) {
+					pass.Reportf(n.Pos(),
+						"rand.%s seeded from the wall clock; seeds must derive from the experiment's base seed (runner.DeriveSeed)", name)
+				}
+			case *ast.SelectorExpr:
+				name, ok := randSymbol(pass, n)
+				if !ok || constructors[name] {
+					return true
+				}
+				if _, isFunc := pass.TypesInfo.Uses[n.Sel].(*types.Func); isFunc {
+					pass.Reportf(n.Pos(),
+						"rand.%s uses the global math/rand source; construct an explicitly seeded *rand.Rand instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randSymbol resolves expr to a math/rand package-level symbol name.
+func randSymbol(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, name, ok := analysis.PkgSymbol(pass.TypesInfo, sel)
+	if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+		return "", false
+	}
+	return name, true
+}
+
+// seedFromClock reports whether an argument of the constructor call reads
+// the wall clock. Nested rand constructor calls are not descended into —
+// they produce their own diagnostic, so rand.New(rand.NewSource(time.Now()
+// .UnixNano())) is reported exactly once, at the NewSource call.
+func seedFromClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if name, isRand := randSymbol(pass, inner.Fun); isRand && constructors[name] {
+					return false
+				}
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if pkg, name, ok := analysis.PkgSymbol(pass.TypesInfo, sel); ok && pkg == "time" && name == "Now" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,13 @@
+package noglobalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noglobalrand"
+)
+
+func TestNoGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", noglobalrand.Analyzer,
+		"cellular", "experiments", "randtool")
+}

@@ -1,0 +1,34 @@
+// Package cellular is a noglobalrand fixture: a leaf simulation package
+// where explicitly seeded RNGs are legal but the global source and
+// wall-clock seeding are not.
+package cellular
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global source.
+func Jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 uses the global math/rand source`
+}
+
+// Order shuffles with the global source.
+func Order(n int) []int {
+	return rand.Perm(n) // want `rand\.Perm uses the global math/rand source`
+}
+
+// ClockSeeded builds a source from the wall clock; the diagnostic lands on
+// the NewSource call, once.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// Seeded is the sanctioned pattern: an RNG that is a pure function of an
+// explicit seed parameter.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TypesAreFine uses math/rand types without touching the global source.
+func TypesAreFine(rng *rand.Rand) float64 { return rng.Float64() }

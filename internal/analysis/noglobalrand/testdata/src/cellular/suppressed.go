@@ -1,0 +1,9 @@
+package cellular
+
+import "math/rand"
+
+// Annotated shows a justified suppression of a global-source draw.
+func Annotated() float64 {
+	//lint:noglobalrand derived-seed -- fixture: pretend this value never reaches a digest
+	return rand.Float64()
+}

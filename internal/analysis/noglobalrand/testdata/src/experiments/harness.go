@@ -1,0 +1,14 @@
+// Package experiments is a noglobalrand fixture for the harness-layer
+// rule: the experiment harnesses must not import math/rand at all — their
+// randomness flows from the runner's seed-derivation path.
+package experiments
+
+import (
+	"math/rand" // want `experiment harnesses must not import math/rand directly`
+)
+
+// Mutate uses an explicitly seeded RNG, which would be fine in a leaf
+// simulation package — but the import itself is the violation here.
+func Mutate(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,8 @@
+// Package randtool is a negative fixture: outside the simulation set the
+// global source is legal and the analyzer must stay silent.
+package randtool
+
+import "math/rand"
+
+// Pick draws from the global source, legally.
+func Pick(n int) int { return rand.Intn(n) }

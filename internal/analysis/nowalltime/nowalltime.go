@@ -1,0 +1,64 @@
+// Package nowalltime forbids wall-clock access in code that must run on
+// netsim virtual time.
+//
+// Inside the simulation packages and the transport layer, time flows from
+// netsim.Sim (or the transport Clock interface) so that every run is an
+// exact replay of its seed. A single time.Now, time.Since, or timer started
+// from the host clock makes output depend on machine load — the class of
+// bug PR 1 fixed dynamically and this analyzer now rejects at build time.
+//
+// Types and constants from package time (time.Duration, time.Millisecond)
+// remain legal; only the clock-reading and timer functions are forbidden.
+// Real-time call sites (the UDP transport's host clock) carry:
+//
+//	//lint:nowalltime real-time -- <why this code never runs under netsim>
+package nowalltime
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// forbidden are the package-time functions that read or wait on the host
+// clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Analyzer is the nowalltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "nowalltime",
+	Doc:    "forbid host-clock reads and timers (time.Now, time.Since, time.Sleep, tickers) in simulation and transport packages, where only virtual time is deterministic",
+	Claims: []string{"real-time"},
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.UsesVirtualTime(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := analysis.PkgSymbol(pass.TypesInfo, sel)
+			if ok && pkg == "time" && forbidden[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the host clock; simulation code must take time from netsim.Sim (or the transport Clock)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nowalltime"
+)
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", nowalltime.Analyzer, "netsim", "clocktool")
+}

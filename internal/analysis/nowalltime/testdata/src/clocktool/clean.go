@@ -1,0 +1,9 @@
+// Package clocktool is a negative fixture: its path is outside the
+// simulation set, so wall-clock reads are legal and the analyzer must stay
+// silent.
+package clocktool
+
+import "time"
+
+// Stamp reads the host clock, legally.
+func Stamp() int64 { return time.Now().UnixNano() }

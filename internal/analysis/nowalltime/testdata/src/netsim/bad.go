@@ -1,0 +1,21 @@
+// Package netsim is a nowalltime fixture: its path marks it as a
+// simulation package, so every host-clock read below must be flagged.
+package netsim
+
+import "time"
+
+// Elapsed abuses the host clock inside simulation code.
+func Elapsed(start time.Time) time.Duration {
+	now := time.Now()            // want `time\.Now reads the host clock`
+	_ = time.Since(start)        // want `time\.Since reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+	<-time.After(time.Second)    // want `time\.After reads the host clock`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the host clock`
+	t.Stop()
+	return now.Sub(start)
+}
+
+// Virtual uses only time types and constants, which stay legal.
+func Virtual(now time.Duration) time.Duration {
+	return now + 20*time.Millisecond
+}

@@ -1,0 +1,29 @@
+package netsim
+
+import "time"
+
+// WallDeadline carries a justified suppression: the directive names the
+// analyzer, an accepted claim, and a reason, so the diagnostic is dropped.
+func WallDeadline() time.Time {
+	//lint:nowalltime real-time -- fixture: pretend this only runs on the real-UDP path
+	return time.Now()
+}
+
+// SameLine shows the end-of-line directive placement.
+func SameLine() time.Time {
+	return time.Now() //lint:nowalltime real-time -- fixture: same-line suppression
+}
+
+// BadClaim uses a claim nowalltime does not accept: the directive is
+// rejected AND the diagnostic still fires.
+func BadClaim() time.Time {
+	//lint:nowalltime ordered-elsewhere -- wrong claim for this analyzer // want `does not accept claim "ordered-elsewhere"`
+	return time.Now() // want `time\.Now reads the host clock`
+}
+
+// NoReason omits the mandatory justification, so the suppression is
+// malformed and the diagnostic still fires.
+func NoReason() time.Time {
+	//lint:nowalltime real-time // want `missing its justification`
+	return time.Now() // want `time\.Now reads the host clock`
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "regexp"
+
+// The determinism contract (DESIGN.md §7-9) applies to the packages that run
+// inside a netsim.Sim event loop: everything a simulated experiment
+// executes must be a pure function of its derived seed. The analyzers match
+// packages by path segment so the same rules apply to the repository's
+// import paths (repro/internal/netsim) and to analysistest fixtures
+// (plain "netsim").
+
+// simPkgRe matches the simulation packages named in ISSUE 3: the simulator
+// core, the channel models, every controller, and the experiment harnesses
+// (including their subpackages, e.g. experiments/runner).
+var simPkgRe = regexp.MustCompile(`(^|/)(netsim|cellular|verus|tcp|sprout|experiments|predictor)(/|$)`)
+
+// transportPkgRe matches the real-UDP transport, which is additionally
+// subject to nowalltime: its wall-clock access must sit behind the Clock
+// interface so simulated transports can run on virtual time.
+var transportPkgRe = regexp.MustCompile(`(^|/)transport(/|$)`)
+
+// runnerPkgRe matches the experiment runner subpackage, the one sanctioned
+// home of math/rand within the harness layer (it owns seed derivation).
+var runnerPkgRe = regexp.MustCompile(`(^|/)experiments/runner(/|$)`)
+
+// harnessPkgRe matches the experiment harness layer itself.
+var harnessPkgRe = regexp.MustCompile(`(^|/)experiments(/|$)`)
+
+// IsSimPackage reports whether the import path is under the simulation
+// determinism contract.
+func IsSimPackage(path string) bool { return simPkgRe.MatchString(path) }
+
+// UsesVirtualTime reports whether the package must route all clock access
+// through virtual time (simulation packages plus the transport layer).
+func UsesVirtualTime(path string) bool {
+	return IsSimPackage(path) || transportPkgRe.MatchString(path)
+}
+
+// IsHarnessPackage reports whether the package is an experiment harness
+// that must obtain RNGs via the runner's seed-derivation path rather than
+// importing math/rand directly.
+func IsHarnessPackage(path string) bool {
+	return harnessPkgRe.MatchString(path) && !runnerPkgRe.MatchString(path)
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"repro/internal/cellular"
@@ -53,7 +52,7 @@ type Figure11Result struct {
 // the given ranges, deterministically from seed — the paper's §7 "every five
 // seconds the whole network parameters ... are changed".
 func figure11Mutator(seed int64, lowMbps, highMbps float64, capacity *[]float64) func(l *netsim.FixedLink, flows []*netsim.Source, iter int) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := runner.NewRand(seed)
 	return func(l *netsim.FixedLink, _ []*netsim.Source, _ int) {
 		rate := lowMbps + rng.Float64()*(highMbps-lowMbps)
 		rtt := time.Duration(10+rng.Float64()*90) * time.Millisecond

@@ -29,7 +29,8 @@ func (s ReceiverStats) MeanMbps() float64 {
 // window tag) for every packet, from which the sender derives delay
 // measurements.
 type Receiver struct {
-	conn *net.UDPConn
+	conn  *net.UDPConn
+	clock Clock
 
 	mu     sync.Mutex
 	stats  ReceiverStats
@@ -38,8 +39,15 @@ type Receiver struct {
 	done   chan struct{}
 }
 
-// NewReceiver starts a receiver listening on addr (e.g. "127.0.0.1:0").
+// NewReceiver starts a receiver listening on addr (e.g. "127.0.0.1:0"),
+// stamping arrivals with the system clock (the real-UDP path).
 func NewReceiver(addr string) (*Receiver, error) {
+	return NewReceiverWithClock(addr, SystemClock())
+}
+
+// NewReceiverWithClock starts a receiver whose arrival timestamps come from
+// the given clock; inject a SimClock to run on netsim virtual time.
+func NewReceiverWithClock(addr string, clock Clock) (*Receiver, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -48,10 +56,14 @@ func NewReceiver(addr string) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	if clock == nil {
+		clock = SystemClock()
+	}
 	r := &Receiver{
-		conn: conn,
-		seen: make(map[int64]struct{}),
-		done: make(chan struct{}),
+		conn:  conn,
+		clock: clock,
+		seen:  make(map[int64]struct{}),
+		done:  make(chan struct{}),
 	}
 	go r.loop()
 	return r, nil
@@ -94,7 +106,7 @@ func (r *Receiver) loop() {
 		if err != nil || h.Type != typeData {
 			continue
 		}
-		now := time.Now()
+		now := r.clock.Now()
 		r.mu.Lock()
 		r.stats.Packets++
 		r.stats.Bytes += int64(n)

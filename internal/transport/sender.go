@@ -19,6 +19,10 @@ type SenderConfig struct {
 	// Housekeep bounds how often loss/RTO checks run when the controller
 	// is purely ack-clocked. Default 5 ms.
 	Housekeep time.Duration
+	// Clock supplies timestamps and the event-loop ticker. nil selects
+	// SystemClock (the real-UDP path); simulated transports inject a
+	// SimClock so the sender runs on netsim virtual time.
+	Clock Clock
 }
 
 // DefaultSenderConfig returns the paper's packet size with 5 ms
@@ -38,9 +42,10 @@ type SenderStats struct {
 // interaction happens on the internal event-loop goroutine, matching the
 // single-threaded contract of cc.Controller.
 type Sender struct {
-	cfg  SenderConfig
-	conn *net.UDPConn
-	ctrl cc.Controller
+	cfg   SenderConfig
+	conn  *net.UDPConn
+	ctrl  cc.Controller
+	clock Clock
 
 	start time.Time
 
@@ -84,11 +89,15 @@ func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
 	if cfg.Housekeep <= 0 {
 		cfg.Housekeep = 5 * time.Millisecond
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
 	s := &Sender{
 		cfg:    cfg,
 		conn:   conn,
 		ctrl:   ctrl,
-		start:  time.Now(),
+		clock:  cfg.Clock,
+		start:  cfg.Clock.Now(),
 		ackCh:  make(chan Header, 1024),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
@@ -118,7 +127,7 @@ func (s *Sender) Close() error {
 	return s.conn.Close()
 }
 
-func (s *Sender) now() time.Duration { return time.Since(s.start) }
+func (s *Sender) now() time.Duration { return s.clock.Now().Sub(s.start) }
 
 func (s *Sender) readLoop() {
 	buf := make([]byte, maxPacket)
@@ -146,7 +155,7 @@ func (s *Sender) run() {
 	if !hasTick {
 		interval = s.cfg.Housekeep
 	}
-	ticker := time.NewTicker(interval)
+	ticker := s.clock.NewTicker(interval)
 	defer ticker.Stop()
 	s.lastProg = s.now()
 	s.trySend()
@@ -157,7 +166,7 @@ func (s *Sender) run() {
 		case h := <-s.ackCh:
 			s.handleAck(h)
 			s.trySend()
-		case <-ticker.C:
+		case <-ticker.C():
 			now := s.now()
 			if hasTick {
 				s.ctrl.Tick(now)
@@ -177,7 +186,7 @@ func (s *Sender) trySend() {
 			Type:      typeData,
 			Flow:      s.cfg.Flow,
 			Seq:       s.nextSeq,
-			SentNanos: time.Now().UnixNano(),
+			SentNanos: s.clock.Now().UnixNano(),
 			Window:    uint32(s.ctrl.SendTag()),
 			Length:    uint16(s.cfg.PayloadBytes),
 		}
@@ -274,7 +283,7 @@ func (s *Sender) retransmit(p *pendingPkt, now time.Duration) {
 		Type:      typeData,
 		Flow:      s.cfg.Flow,
 		Seq:       p.seq,
-		SentNanos: time.Now().UnixNano(),
+		SentNanos: s.clock.Now().UnixNano(),
 		Window:    uint32(s.ctrl.SendTag()),
 		Length:    uint16(s.cfg.PayloadBytes),
 	}
