@@ -11,10 +11,16 @@
 // repo's BENCH_*.json perf-trajectory files use; -cpuprofile/-memprofile
 // write pprof profiles of the run for local hot-path work.
 //
+// -faults runs the canned fault-injection scenarios (internal/faults)
+// against the hardened Verus and the baselines: pass a scenario name
+// (tunnel-outage, highway-handover, city-loss) or "all". With -faults set
+// and no -only, only the fault scenarios run.
+//
 // Usage:
 //
-//	verus-bench [-quick] [-only fig8,table1,...] [-seed N] [-parallel N]
-//	            [-benchjson out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	verus-bench [-quick] [-only fig8,table1,...] [-faults name|all] [-seed N]
+//	            [-parallel N] [-benchjson out.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -28,12 +34,31 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 // knownExperiments lists every -only id, in run order.
 func knownExperiments() []string {
 	return []string{"fig1", "fig2", "fig3", "fig4", "predictors", "fig5", "fig7", "fig8",
-		"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity"}
+		"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity",
+		"faults"}
+}
+
+// parseFaults validates the -faults flag value into the scenario list to
+// run: "" selects nothing, "all" selects every canned scenario, and a
+// single name selects that one. Unknown names error with the valid set.
+func parseFaults(s string) ([]string, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "":
+		return nil, nil
+	case "all":
+		return faults.Names(), nil
+	}
+	if _, err := faults.ByName(s, time.Second); err != nil {
+		return nil, err
+	}
+	return []string{s}, nil
 }
 
 // parseOnly parses a -only flag value into the selected id set, rejecting
@@ -94,7 +119,8 @@ func fatalf(format string, args ...interface{}) {
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity)")
+	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity,faults)")
+	faultsFlag := flag.String("faults", "", "fault scenario to run (tunnel-outage, highway-handover, city-loss, or 'all'); alone it runs only the fault scenarios")
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
@@ -102,11 +128,28 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
-	// Validate -only before any experiment runs, so a typo costs nothing.
+	// Validate -only and -faults before any experiment runs, so a typo
+	// costs nothing.
 	want, err := parseOnly(*only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
 		os.Exit(2)
+	}
+	faultScenarios, err := parseFaults(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if len(faultScenarios) > 0 {
+		// -faults alone narrows the run to the fault harness; combined with
+		// -only it joins the selection.
+		if len(want) == 0 {
+			want = map[string]bool{}
+		}
+		want["faults"] = true
+	} else {
+		// "-only faults" (or a default full run) uses every canned scenario.
+		faultScenarios = faults.Names()
 	}
 
 	if *cpuprofile != "" {
@@ -181,6 +224,20 @@ func main() {
 	run("fig14", "Verus vs Cubic", func() string { return experiments.Figure14(micro).Render() })
 	run("fig15", "static vs updating profile", func() string { return experiments.Figure15(micro).Render() })
 	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed, *parallel).Render() })
+	run("faults", "fault-injection scenarios", func() string {
+		var b strings.Builder
+		for i, name := range faultScenarios {
+			res, err := experiments.FaultScenario(name, macro)
+			if err != nil {
+				fatalf("faults: %v", err)
+			}
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(res.Render())
+		}
+		return b.String()
+	})
 
 	if *benchjson != "" {
 		b, err := marshalReport(report)

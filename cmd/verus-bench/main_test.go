@@ -73,6 +73,26 @@ func TestMarshalReportShape(t *testing.T) {
 	}
 }
 
+func TestParseFaults(t *testing.T) {
+	if got, err := parseFaults(""); err != nil || got != nil {
+		t.Errorf("parseFaults(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	all, err := parseFaults("ALL")
+	if err != nil || len(all) != 3 {
+		t.Errorf("parseFaults(\"ALL\") = %v, %v; want the 3 canned scenarios", all, err)
+	}
+	one, err := parseFaults(" tunnel-outage ")
+	if err != nil || len(one) != 1 || one[0] != "tunnel-outage" {
+		t.Errorf("parseFaults(\"tunnel-outage\") = %v, %v", one, err)
+	}
+	// A typo must fail before any experiment runs, like -only.
+	if _, err := parseFaults("tunel-outage"); err == nil {
+		t.Error("typo scenario accepted")
+	} else if !strings.Contains(err.Error(), "highway-handover") {
+		t.Errorf("error does not list valid scenarios: %v", err)
+	}
+}
+
 func TestKnownExperimentsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, id := range knownExperiments() {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/floatorder"
 	"repro/internal/analysis/maprange"
+	"repro/internal/analysis/nofaultsinprod"
 	"repro/internal/analysis/noglobalrand"
 	"repro/internal/analysis/nowalltime"
 )
@@ -15,6 +16,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		floatorder.Analyzer,
 		maprange.Analyzer,
+		nofaultsinprod.Analyzer,
 		noglobalrand.Analyzer,
 		nowalltime.Analyzer,
 	}

@@ -1,0 +1,52 @@
+// Package nofaultsinprod keeps the fault-injection layer out of production
+// code paths.
+//
+// ISSUE 4's fault layer (internal/faults) is an experiment-harness concern:
+// plans are wired around a link by the experiments packages, the
+// verus-bench CLI, or a test — never inside the simulator core, a
+// controller, or the transport. A production import of faults would let
+// impairment logic leak into the datapath being measured, and — because
+// the layer consumes seeded randomness — would silently widen the
+// determinism surface of every package that links it.
+//
+// The rule: any package outside the sanctioned set (the faults layer
+// itself, the experiments harnesses including experiments/runner, and
+// cmd/verus-bench) is flagged for importing a faults package. Test files
+// are outside the analyzed set and may inject faults freely — that is
+// what the layer is for.
+//
+// Suppressions carry:
+//
+//	//lint:nofaultsinprod sim-only -- <why this import cannot reach a production datapath>
+package nofaultsinprod
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nofaultsinprod pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "nofaultsinprod",
+	Doc:    "forbid importing the fault-injection layer (internal/faults) outside the experiment harness, verus-bench, and tests",
+	Claims: []string{"sim-only"},
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if analysis.MayInjectFaults(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if analysis.IsFaultsPackage(p) {
+				pass.Reportf(imp.Pos(),
+					"package %s imports the fault-injection layer %s; faults are wired in only by the experiment harness, verus-bench, or tests", path, p)
+			}
+		}
+	}
+	return nil
+}

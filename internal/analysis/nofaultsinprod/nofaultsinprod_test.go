@@ -1,0 +1,13 @@
+package nofaultsinprod_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nofaultsinprod"
+)
+
+func TestNoFaultsInProd(t *testing.T) {
+	analysistest.Run(t, "testdata", nofaultsinprod.Analyzer,
+		"transport", "experiments")
+}

@@ -1,0 +1,11 @@
+// Package experiments is a nofaultsinprod fixture for the sanctioned side:
+// the harness layer wires fault plans into simulations, so its import is
+// legal and the analyzer must stay silent.
+package experiments
+
+import "repro/internal/faults"
+
+// Plan builds a canned scenario the way the harness does.
+func Plan() []string {
+	return faults.Names()
+}

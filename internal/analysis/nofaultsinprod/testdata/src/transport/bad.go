@@ -1,0 +1,12 @@
+// Package transport is a nofaultsinprod fixture: a production datapath
+// package linking the fault layer directly.
+package transport
+
+import (
+	"repro/internal/faults" // want `imports the fault-injection layer`
+)
+
+// Impaired pretends to bake an outage schedule into the shipped sender.
+func Impaired() string {
+	return faults.Outage.String()
+}

@@ -1,0 +1,9 @@
+package transport
+
+//lint:nofaultsinprod sim-only -- fixture: pretend this shim is compiled out of release builds
+import sims "repro/internal/faults"
+
+// Shim shows a justified suppression of a faults import.
+func Shim() string {
+	return sims.Handover.String()
+}

@@ -10,9 +10,10 @@ import "regexp"
 // (plain "netsim").
 
 // simPkgRe matches the simulation packages named in ISSUE 3: the simulator
-// core, the channel models, every controller, and the experiment harnesses
-// (including their subpackages, e.g. experiments/runner).
-var simPkgRe = regexp.MustCompile(`(^|/)(netsim|cellular|verus|tcp|sprout|experiments|predictor)(/|$)`)
+// core, the channel models, every controller, the fault-injection layer
+// (ISSUE 4), and the experiment harnesses (including their subpackages,
+// e.g. experiments/runner).
+var simPkgRe = regexp.MustCompile(`(^|/)(netsim|cellular|verus|tcp|sprout|experiments|predictor|faults)(/|$)`)
 
 // transportPkgRe matches the real-UDP transport, which is additionally
 // subject to nowalltime: its wall-clock access must sit behind the Clock
@@ -41,4 +42,27 @@ func UsesVirtualTime(path string) bool {
 // importing math/rand directly.
 func IsHarnessPackage(path string) bool {
 	return harnessPkgRe.MatchString(path) && !runnerPkgRe.MatchString(path)
+}
+
+// faultsPkgRe matches the fault-injection layer (ISSUE 4), both as the
+// repository path (repro/internal/faults) and as a fixture path (faults).
+var faultsPkgRe = regexp.MustCompile(`(^|/)faults(/|$)`)
+
+// benchCmdRe matches the verus-bench CLI, which exposes the -faults flag.
+var benchCmdRe = regexp.MustCompile(`(^|/)cmd/verus-bench(/|$)`)
+
+// IsFaultsPackage reports whether the import path is the fault-injection
+// layer itself (or one of its subpackages).
+func IsFaultsPackage(path string) bool { return faultsPkgRe.MatchString(path) }
+
+// MayInjectFaults reports whether a package is sanctioned to import the
+// fault-injection layer: the layer itself, the experiment harnesses that
+// wire plans into simulations, and the verus-bench CLI. Everything else —
+// the simulator core, the controllers, the transport — must stay
+// fault-free in production code; tests are outside the analyzed set and
+// may inject freely.
+func MayInjectFaults(path string) bool {
+	return faultsPkgRe.MatchString(path) ||
+		harnessPkgRe.MatchString(path) ||
+		benchCmdRe.MatchString(path)
 }

@@ -96,17 +96,26 @@ type Scenario struct {
 	// RateFactor scales the technology's mean rate (indoor/obstructed
 	// scenarios are slower).
 	RateFactor float64
+	// HandoverEvery is the typical spacing between cell handovers under
+	// this mobility pattern; zero means the device stays on one cell. The
+	// fault layer (internal/faults) turns this into handover-stall trains.
+	HandoverEvery time.Duration
+	// HandoverStall is the typical delivery freeze during one handover.
+	HandoverStall time.Duration
 }
 
 // The seven measurement scenarios of §5.3.
 var (
 	CampusStationary = Scenario{Name: "campus-stationary", SlowSigmaDB: 2.0, SlowTau: 20 * time.Second, RateFactor: 1.0}
-	CampusPedestrian = Scenario{Name: "campus-pedestrian", SlowSigmaDB: 3.0, SlowTau: 8 * time.Second, RateFactor: 0.95}
-	CityStationary   = Scenario{Name: "city-stationary", SlowSigmaDB: 2.5, SlowTau: 15 * time.Second, RateFactor: 0.9}
-	CityDriving      = Scenario{Name: "city-driving", SlowSigmaDB: 5.0, SlowTau: 3 * time.Second, RateFactor: 0.8}
-	HighwayDriving   = Scenario{Name: "highway-driving", SlowSigmaDB: 6.0, SlowTau: 1500 * time.Millisecond, RateFactor: 0.75}
-	ShoppingMall     = Scenario{Name: "shopping-mall", SlowSigmaDB: 4.0, SlowTau: 5 * time.Second, RateFactor: 0.7}
-	CityWaterfront   = Scenario{Name: "city-waterfront", SlowSigmaDB: 3.0, SlowTau: 10 * time.Second, RateFactor: 0.85}
+	CampusPedestrian = Scenario{Name: "campus-pedestrian", SlowSigmaDB: 3.0, SlowTau: 8 * time.Second, RateFactor: 0.95,
+		HandoverEvery: 90 * time.Second, HandoverStall: 150 * time.Millisecond}
+	CityStationary = Scenario{Name: "city-stationary", SlowSigmaDB: 2.5, SlowTau: 15 * time.Second, RateFactor: 0.9}
+	CityDriving    = Scenario{Name: "city-driving", SlowSigmaDB: 5.0, SlowTau: 3 * time.Second, RateFactor: 0.8,
+		HandoverEvery: 25 * time.Second, HandoverStall: 250 * time.Millisecond}
+	HighwayDriving = Scenario{Name: "highway-driving", SlowSigmaDB: 6.0, SlowTau: 1500 * time.Millisecond, RateFactor: 0.75,
+		HandoverEvery: 12 * time.Second, HandoverStall: 400 * time.Millisecond}
+	ShoppingMall   = Scenario{Name: "shopping-mall", SlowSigmaDB: 4.0, SlowTau: 5 * time.Second, RateFactor: 0.7}
+	CityWaterfront = Scenario{Name: "city-waterfront", SlowSigmaDB: 3.0, SlowTau: 10 * time.Second, RateFactor: 0.85}
 )
 
 // Scenarios returns the seven §5.3 scenarios in a stable order.

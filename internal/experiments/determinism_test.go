@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // These golden tests lock in the runner's determinism contract for every
@@ -31,6 +33,17 @@ func goldenCases() []struct {
 	micro := func(parallel int) MicroOptions {
 		return MicroOptions{Duration: 12 * time.Second, Seed: 123, Parallel: parallel}
 	}
+	// Fault scenarios run longer than the other golden cases so the timed
+	// impairments end well inside the run and the recovery column is real.
+	fault := func(name string, parallel int) string {
+		res, err := FaultScenario(name, MacroOptions{
+			Duration: 30 * time.Second, Reps: 1, Seed: 123, Parallel: parallel,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Render()
+	}
 	return []struct {
 		name   string
 		render func(parallel int) string
@@ -48,6 +61,9 @@ func goldenCases() []struct {
 		{"Figure14", func(p int) string { return Figure14(micro(p)).Render() }},
 		{"Figure15", func(p int) string { return Figure15(micro(p)).Render() }},
 		{"Sensitivity", func(p int) string { return Sensitivity(8*time.Second, 123, p).Render() }},
+		{"FaultTunnelOutage", func(p int) string { return fault(faults.ScenarioTunnelOutage, p) }},
+		{"FaultHighwayHandover", func(p int) string { return fault(faults.ScenarioHighwayHandover, p) }},
+		{"FaultCityLoss", func(p int) string { return fault(faults.ScenarioCityLoss, p) }},
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/cellular"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sprout"
 	"repro/internal/tcp"
@@ -95,6 +96,9 @@ type RunResult struct {
 	PerSecondMbps [][]float64
 	// PerSecondDelay[i] is flow i's mean delay per 1 s window (seconds).
 	PerSecondDelay [][]float64
+	// Faults holds the fault-injection counters when the run carried a
+	// fault plan; nil otherwise.
+	Faults *faults.Counters
 }
 
 // MeanMbps returns the mean across flows of per-flow throughput.
@@ -135,6 +139,11 @@ type TraceRun struct {
 	// BaseOneWay is the propagation delay each way (default 10 ms).
 	BaseOneWay time.Duration
 	Seed       int64
+	// Faults, when non-nil, wraps the bottleneck link in the fault-injection
+	// decorator (internal/faults), seeded from Seed. Nil leaves the link
+	// untouched — the exact pre-fault packet arithmetic, which is what keeps
+	// the committed golden digests stable.
+	Faults *faults.Plan
 }
 
 // Run executes the trace-driven dumbbell and collects per-flow results.
@@ -150,7 +159,7 @@ func (tr TraceRun) Run() RunResult {
 	for i := range specs {
 		specs[i] = netsim.FlowSpec{Ctrl: tr.Maker.New(), AckDelay: tr.BaseOneWay}
 	}
-	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+	mkInner := func(dst netsim.Receiver) netsim.Link {
 		var q netsim.Queue
 		if tr.UseRED {
 			q = netsim.PaperRED(tr.Seed)
@@ -158,9 +167,22 @@ func (tr TraceRun) Run() RunResult {
 			q = netsim.NewDropTail(tr.QueueBytes)
 		}
 		return netsim.NewTraceLink(sim, q, tr.Trace, tr.BaseOneWay, dst, true, tr.Seed+1)
+	}
+	var flink *faults.Link
+	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
+		if tr.Faults == nil {
+			return mkInner(dst)
+		}
+		flink = faults.Wrap(sim, tr.Faults, tr.Seed+2, dst, mkInner)
+		return flink
 	}, MTU, specs)
 	d.Run(tr.Duration)
-	return collect(d, tr.Duration)
+	res := collect(d, tr.Duration)
+	if flink != nil {
+		c := flink.Counters
+		res.Faults = &c
+	}
+	return res
 }
 
 // FixedRun describes a fixed-rate dumbbell run (the §7 micro-evaluations).

@@ -1,0 +1,234 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Link decorates a netsim.Link with a fault Plan. It interposes on both
+// sides of the inner link: ingress (Send) to reject traffic during outages,
+// and egress (the inner link's receiver) to apply loss, corruption,
+// duplication, reordering, and stall buffering before packets reach the real
+// destination. The inner link itself — its queue discipline, serialization,
+// and conservation counters — is untouched.
+//
+// Link runs entirely inside the netsim event loop and is therefore
+// single-goroutine, like everything else in the simulator.
+type Link struct {
+	sim   *netsim.Sim
+	inner netsim.Link
+	dst   netsim.Receiver
+	plan  *Plan
+	rng   *rand.Rand
+
+	inOutage bool
+	inStall  bool
+	geBad    bool
+	held     []*netsim.Packet
+
+	// passive is fixed at Wrap: the plan has no per-packet stochastic
+	// impairment, so deliveries outside event windows never touch the RNG.
+	passive bool
+	// fast caches passive && !inOutage && !inStall — the egress fast path
+	// that keeps a zero plan's per-packet cost to one branch (the ≤2%
+	// no-fault budget, BENCH_pr4.json). Recomputed on every event toggle.
+	fast bool
+
+	// Counters accounts every packet the decorator touches.
+	Counters
+}
+
+// Wrap builds the inner link via mk — pointed at the decorator's egress tap
+// instead of dst — schedules the plan's timed events on sim, and returns the
+// decorated link. A nil or zero plan yields a passthrough decorator whose
+// per-packet cost is a few branch tests (benchmarked ≤2% end to end, see
+// BENCH_pr4.json).
+//
+// Event times in the plan are measured from the moment Wrap is called
+// (normally simulation time zero). Wrap panics on an invalid plan, matching
+// netsim's constructor convention.
+func Wrap(sim *netsim.Sim, plan *Plan, seed int64, dst netsim.Receiver, mk func(dst netsim.Receiver) netsim.Link) *Link {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	l := &Link{
+		sim:  sim,
+		dst:  dst,
+		plan: plan,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	l.passive = plan == nil || (plan.Loss == nil &&
+		plan.CorruptProb == 0 && plan.DupProb == 0 && plan.ReorderProb == 0)
+	l.fast = l.passive
+	l.inner = mk(netsim.ReceiverFunc(l.egress))
+	if plan != nil {
+		base := sim.Now()
+		for _, ev := range plan.Events {
+			ev := ev
+			switch ev.Kind {
+			case Outage:
+				sim.Schedule(base+ev.At, func() { l.startOutage(ev.Dur) })
+			case Handover:
+				sim.Schedule(base+ev.At, func() { l.startStall(ev.Dur) })
+			}
+		}
+	}
+	return l
+}
+
+// Inner returns the wrapped link (for instrumentation: TraceLink counters,
+// rate changes on a FixedLink).
+func (l *Link) Inner() netsim.Link { return l.inner }
+
+// Queue implements netsim.Link by exposing the inner link's buffer.
+func (l *Link) Queue() netsim.Queue { return l.inner.Queue() }
+
+// Send implements netsim.Link. During an outage the packet is discarded at
+// ingress — the radio is gone, nothing reaches the bottleneck buffer.
+func (l *Link) Send(p *netsim.Packet) {
+	if l.inOutage {
+		l.SendDropped++
+		return
+	}
+	l.inner.Send(p)
+}
+
+// updateFast recomputes the egress fast path after an event toggles.
+func (l *Link) updateFast() {
+	l.fast = l.passive && !l.inOutage && !l.inStall
+}
+
+// egress receives every packet the inner link delivers and routes it through
+// the active impairments.
+func (l *Link) egress(p *netsim.Packet) {
+	if l.fast {
+		l.Delivered++
+		l.dst.Receive(p)
+		return
+	}
+	if l.inOutage {
+		// In service or propagating when the outage hit.
+		l.EgressDropped++
+		return
+	}
+	if l.inStall {
+		l.held = append(l.held, p)
+		l.Held++
+		return
+	}
+	l.deliver(p)
+}
+
+// deliver applies the stochastic impairments — Gilbert-Elliott loss,
+// corruption, duplication, reordering — and hands survivors to arrive.
+func (l *Link) deliver(p *netsim.Packet) {
+	if g := l.plan.lossModel(); g != nil {
+		lossP := g.LossGood
+		if l.geBad {
+			lossP = g.LossBad
+		}
+		drop := lossP > 0 && l.rng.Float64() < lossP
+		// Advance the chain once per packet, regardless of the loss draw.
+		if l.geBad {
+			if l.rng.Float64() < g.PBadGood {
+				l.geBad = false
+			}
+		} else if l.rng.Float64() < g.PGoodBad {
+			l.geBad = true
+		}
+		if drop {
+			l.BurstLost++
+			return
+		}
+	}
+	if l.plan != nil && l.plan.CorruptProb > 0 && l.rng.Float64() < l.plan.CorruptProb {
+		// The receiver's checksum rejects the mangled packet; in the
+		// simulator that collapses to an accounted drop.
+		l.Corrupted++
+		return
+	}
+	if l.plan != nil && l.plan.ReorderProb > 0 && l.rng.Float64() < l.plan.ReorderProb {
+		l.Reordered++
+		l.ReorderPending++
+		pkt := p
+		l.sim.After(l.plan.ReorderDelay, func() {
+			l.ReorderPending--
+			l.arrive(pkt)
+		})
+		return
+	}
+	l.arrive(p)
+	if l.plan != nil && l.plan.DupProb > 0 && l.rng.Float64() < l.plan.DupProb {
+		l.Duplicated++
+		l.arrive(p)
+	}
+}
+
+// arrive is the final gate before the destination. A packet that was held
+// back (reordering) re-checks the outage/stall state at its new delivery
+// time.
+func (l *Link) arrive(p *netsim.Packet) {
+	if l.inOutage {
+		l.EgressDropped++
+		return
+	}
+	if l.inStall {
+		l.held = append(l.held, p)
+		l.Held++
+		return
+	}
+	l.Delivered++
+	l.dst.Receive(p)
+}
+
+// lossModel tolerates a nil plan in the per-packet hot path.
+func (p *Plan) lossModel() *GilbertElliott {
+	if p == nil {
+		return nil
+	}
+	return p.Loss
+}
+
+func (l *Link) startOutage(dur time.Duration) {
+	l.inOutage = true
+	l.updateFast()
+	// Queue-drain semantics: the bottleneck buffer empties when the radio
+	// bearer is torn down. Every drained packet is accounted — the netsim
+	// conservation identity extends through the fault layer.
+	q := l.inner.Queue()
+	now := l.sim.Now()
+	for p := q.Dequeue(now); p != nil; p = q.Dequeue(now) {
+		l.QueueDrained++
+	}
+	// A stall interrupted by an outage loses its held packets too.
+	if l.inStall || len(l.held) > 0 {
+		l.EgressDropped += int64(len(l.held))
+		l.Held -= int64(len(l.held))
+		l.held = l.held[:0]
+	}
+	l.sim.After(dur, func() {
+		l.inOutage = false
+		l.updateFast()
+	})
+}
+
+func (l *Link) startStall(dur time.Duration) {
+	l.inStall = true
+	l.updateFast()
+	l.sim.After(dur, func() {
+		l.inStall = false
+		l.updateFast()
+		// Burst-release: the handover completes and the target cell drains
+		// the forwarded buffer back-to-back. Released packets still face
+		// the stochastic impairments — they cross the air interface now.
+		held := l.held
+		l.held = nil
+		l.Held -= int64(len(held))
+		l.Released += int64(len(held))
+		for _, p := range held {
+			l.deliver(p)
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a UDP relay that applies a fault Plan to real transport traffic.
+// It sits between a transport.Sender and transport.Receiver:
+//
+//	sender --> proxy.Addr() --> forward (impaired) --> receiver
+//	sender <-- reverse (outage/stall only) <--------- receiver
+//
+// The forward (data) direction carries the full plan — loss bursts,
+// corruption, duplication, reordering, outages, stalls. The reverse (ack)
+// direction honors only the timed events: a blackout or handover severs the
+// bearer in both directions, but the stochastic air-interface impairments
+// are modeled downlink-only to keep the two relay goroutines free of shared
+// RNG state.
+//
+// Time is injected: now reports elapsed time on the same axis as the plan's
+// event offsets. Timed windows are evaluated purely from now() — the proxy
+// sets no timers of its own. The one consequence: packets frozen by a
+// handover stall are flushed when the first datagram after the stall's end
+// crosses the proxy, not at the exact end instant. Transports retransmit, so
+// traffic always arrives to trigger the flush.
+type Proxy struct {
+	plan *Plan
+	now  func() time.Duration
+	rng  *rand.Rand // forward goroutine only
+
+	lc *net.UDPConn // client-facing socket
+	sc *net.UDPConn // server-facing socket (connected)
+
+	mu     sync.Mutex
+	client *net.UDPAddr
+
+	// Forward-goroutine state (unshared).
+	geBad       bool
+	reorderHold []byte
+	fwdHeld     [][]byte
+	// Reverse-goroutine state (unshared).
+	revHeld [][]byte
+
+	c       Counters // incremented atomically
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewProxy starts a relay on an ephemeral localhost port that forwards to
+// serverAddr through plan. now supplies elapsed time on the plan's axis
+// (e.g. time.Since(start) closed over by the caller — the caller owns the
+// wall clock; this package must stay off it).
+func NewProxy(serverAddr string, plan *Plan, seed int64, now func() time.Duration) (*Proxy, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	sa, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := net.DialUDP("udp", nil, sa)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	p := &Proxy{
+		plan:    plan,
+		now:     now,
+		rng:     rand.New(rand.NewSource(seed)),
+		lc:      lc,
+		sc:      sc,
+		closeCh: make(chan struct{}),
+	}
+	p.wg.Add(2)
+	go p.forward()
+	go p.reverse()
+	return p, nil
+}
+
+// Addr returns the address the sender should dial.
+func (p *Proxy) Addr() string { return p.lc.LocalAddr().String() }
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Counters {
+	var s Counters
+	s.SendDropped = atomic.LoadInt64(&p.c.SendDropped)
+	s.EgressDropped = atomic.LoadInt64(&p.c.EgressDropped)
+	s.BurstLost = atomic.LoadInt64(&p.c.BurstLost)
+	s.Corrupted = atomic.LoadInt64(&p.c.Corrupted)
+	s.Duplicated = atomic.LoadInt64(&p.c.Duplicated)
+	s.Reordered = atomic.LoadInt64(&p.c.Reordered)
+	s.Released = atomic.LoadInt64(&p.c.Released)
+	s.Delivered = atomic.LoadInt64(&p.c.Delivered)
+	return s
+}
+
+// Close stops both relay goroutines and releases the sockets.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closeCh:
+	default:
+		close(p.closeCh)
+	}
+	err1 := p.lc.Close()
+	err2 := p.sc.Close()
+	p.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// activeEvent returns the timed event covering now, if any.
+func (p *Proxy) activeEvent(now time.Duration) (Event, bool) {
+	for _, ev := range p.plan.events() {
+		if now < ev.At {
+			break
+		}
+		if now < ev.At+ev.Dur {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+func (p *Plan) events() []Event {
+	if p == nil {
+		return nil
+	}
+	return p.Events
+}
+
+// gate applies the timed-event policy shared by both directions to one
+// datagram: drop during outages, buffer during stalls, and flush a stall
+// buffer once its window has passed. It returns the datagrams to relay now
+// (flushed ones first, in arrival order) and the updated hold buffer.
+func (p *Proxy) gate(pkt []byte, held [][]byte) (out [][]byte, newHeld [][]byte) {
+	now := p.now()
+	ev, active := p.activeEvent(now)
+	if active && ev.Kind == Outage {
+		// The bearer is gone: the datagram and anything a stall was holding
+		// are lost.
+		if pkt != nil {
+			atomic.AddInt64(&p.c.SendDropped, 1)
+		}
+		atomic.AddInt64(&p.c.EgressDropped, int64(len(held)))
+		return nil, held[:0]
+	}
+	if active && ev.Kind == Handover {
+		if pkt != nil {
+			cp := append([]byte(nil), pkt...)
+			held = append(held, cp)
+			atomic.AddInt64(&p.c.Held, 1)
+		}
+		return nil, held
+	}
+	// No active window: release any stall backlog ahead of the new arrival.
+	if len(held) > 0 {
+		atomic.AddInt64(&p.c.Held, -int64(len(held)))
+		atomic.AddInt64(&p.c.Released, int64(len(held)))
+		out = append(out, held...)
+		held = held[:0]
+	}
+	if pkt != nil {
+		out = append(out, pkt)
+	}
+	return out, held
+}
+
+func (p *Proxy) forward() {
+	defer p.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := p.lc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.client = addr
+		p.mu.Unlock()
+		var out [][]byte
+		out, p.fwdHeld = p.gate(buf[:n], p.fwdHeld)
+		for _, pkt := range out {
+			p.impair(pkt)
+		}
+	}
+}
+
+// impair runs one forward datagram through the stochastic processes and
+// writes the survivors to the server socket.
+func (p *Proxy) impair(pkt []byte) {
+	if g := p.plan.lossModel(); g != nil {
+		lossP := g.LossGood
+		if p.geBad {
+			lossP = g.LossBad
+		}
+		drop := lossP > 0 && p.rng.Float64() < lossP
+		if p.geBad {
+			if p.rng.Float64() < g.PBadGood {
+				p.geBad = false
+			}
+		} else if p.rng.Float64() < g.PGoodBad {
+			p.geBad = true
+		}
+		if drop {
+			atomic.AddInt64(&p.c.BurstLost, 1)
+			return
+		}
+	}
+	if p.plan != nil && p.plan.CorruptProb > 0 && p.rng.Float64() < p.plan.CorruptProb {
+		// Mangle the header type byte; the receiver's ParseHeader rejects
+		// the datagram, which is how corruption surfaces to a real stack.
+		atomic.AddInt64(&p.c.Corrupted, 1)
+		if len(pkt) > 0 {
+			pkt[0] ^= 0x7f
+		}
+		p.send(pkt)
+		return
+	}
+	if p.plan != nil && p.plan.ReorderProb > 0 && p.rng.Float64() < p.plan.ReorderProb && p.reorderHold == nil {
+		// Bounded reordering: hold exactly one datagram; it departs right
+		// after the next one, i.e. displaced by a single packet.
+		atomic.AddInt64(&p.c.Reordered, 1)
+		p.reorderHold = append([]byte(nil), pkt...)
+		return
+	}
+	p.send(pkt)
+	if p.reorderHold != nil {
+		held := p.reorderHold
+		p.reorderHold = nil
+		p.send(held)
+	}
+	if p.plan != nil && p.plan.DupProb > 0 && p.rng.Float64() < p.plan.DupProb {
+		atomic.AddInt64(&p.c.Duplicated, 1)
+		p.send(pkt)
+	}
+}
+
+func (p *Proxy) send(pkt []byte) {
+	atomic.AddInt64(&p.c.Delivered, 1)
+	p.sc.Write(pkt)
+}
+
+func (p *Proxy) reverse() {
+	defer p.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, err := p.sc.Read(buf)
+		if err != nil {
+			return
+		}
+		var out [][]byte
+		out, p.revHeld = p.gate(buf[:n], p.revHeld)
+		p.mu.Lock()
+		client := p.client
+		p.mu.Unlock()
+		if client == nil {
+			continue
+		}
+		for _, pkt := range out {
+			p.lc.WriteToUDP(pkt, client)
+		}
+	}
+}

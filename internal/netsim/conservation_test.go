@@ -135,6 +135,149 @@ func syntheticTrace(rng *rand.Rand, d time.Duration) *trace.Trace {
 	return tr
 }
 
+// chaosIngress is a minimal upstream fault decorator: before a packet
+// reaches the bottleneck queue it may be dropped or duplicated. It models
+// what internal/faults does from outside the package, so these invariants
+// hold for any conforming decorator, not just ours.
+type chaosIngress struct {
+	inner    Link
+	rng      *rand.Rand
+	dropP    float64
+	dupP     float64
+	drops    int64
+	dups     int64
+	ingested int64 // packets actually offered to the inner link
+}
+
+func (c *chaosIngress) Queue() Queue { return c.inner.Queue() }
+
+func (c *chaosIngress) Send(p *Packet) {
+	if c.rng.Float64() < c.dropP {
+		c.drops++
+		return
+	}
+	c.ingested++
+	c.inner.Send(p)
+	if c.rng.Float64() < c.dupP {
+		// Same *Packet offered twice: the queue must account its bytes
+		// twice and deliver two copies (or drop-count the rejected one).
+		c.dups++
+		c.ingested++
+		c.inner.Send(p)
+	}
+}
+
+// TestConservationUpstreamFaults drives random CBR mixes through a
+// drop/duplicate decorator into both queue disciplines and checks that the
+// queue's own accounting (Drops, Len, Bytes) plus the link counters still
+// balance: conservation must hold for the packets the queue actually saw,
+// with duplicates counted per copy.
+func TestConservationUpstreamFaults(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		sim := NewSim()
+		q := randomQueue(rng)
+		rate := 1 + rng.Float64()*30
+		var link *FixedLink
+		var chaos *chaosIngress
+		stop := time.Duration(3+rng.Intn(5)) * time.Second
+		specs := randomSpecs(rng, stop)
+		d := NewDumbbell(sim, func(dst Receiver) Link {
+			link = NewFixedLink(sim, q, rate, time.Duration(rng.Intn(40))*time.Millisecond, dst, seed+300)
+			chaos = &chaosIngress{
+				inner: link,
+				rng:   rand.New(rand.NewSource(seed + 400)),
+				dropP: rng.Float64() * 0.2,
+				dupP:  rng.Float64() * 0.2,
+			}
+			return chaos
+		}, 1400, specs)
+
+		drainTime := stop + 10*time.Second
+		sim.Run(drainTime)
+
+		var sent int64
+		for _, m := range d.Metrics {
+			sent += m.Sent
+		}
+		// Decorator ledger: every source packet was either dropped upstream
+		// or offered to the queue; duplicates add offered copies.
+		if got := chaos.drops + chaos.ingested - chaos.dups; got != sent {
+			t.Errorf("seed %d: decorator ledger: sent=%d but drops=%d + ingested=%d - dups=%d = %d",
+				seed, sent, chaos.drops, chaos.ingested, chaos.dups, got)
+		}
+		// Queue+link ledger over offered copies: each was tail/RED-dropped,
+		// lost, delivered, or still queued (zero after drain).
+		if q.Len() != 0 || q.Bytes() != 0 {
+			t.Fatalf("seed %d: queue not drained: %d packets / %d B", seed, q.Len(), q.Bytes())
+		}
+		if got := queueDrops(q) + link.Delivered + link.Lost; got != chaos.ingested {
+			t.Errorf("seed %d: queue conservation under faults: offered=%d but drops=%d + delivered=%d + lost=%d = %d",
+				seed, chaos.ingested, queueDrops(q), link.Delivered, link.Lost, got)
+		}
+		var received int64
+		for _, m := range d.Metrics {
+			received += m.Received
+		}
+		if received != link.Delivered {
+			t.Errorf("seed %d: sinks received %d but link delivered %d", seed, received, link.Delivered)
+		}
+	}
+}
+
+// TestDropTailDuplicateBytes pins the byte accounting when the same *Packet
+// is enqueued twice: Bytes() must count each copy, and both dequeues must
+// return the packet.
+func TestDropTailDuplicateBytes(t *testing.T) {
+	q := NewDropTail(10_000)
+	p := &Packet{Bytes: 1400}
+	if !q.Enqueue(p, 0) || !q.Enqueue(p, 0) {
+		t.Fatal("duplicate enqueue rejected below the byte limit")
+	}
+	if got := q.Bytes(); got != 2800 {
+		t.Fatalf("Bytes() = %d after double enqueue, want 2800", got)
+	}
+	if q.Dequeue(0) != p || q.Dequeue(0) != p {
+		t.Fatal("dequeues did not return both copies")
+	}
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("Bytes() = %d after draining duplicates, want 0", got)
+	}
+}
+
+// TestREDIdleDecayAfterUpstreamOutage pins RED's idle handling around a
+// fault window: if an upstream outage starves the queue, the average must
+// decay during the idle gap rather than freeze at its peak and blackhole
+// the post-outage burst.
+func TestREDIdleDecayAfterUpstreamOutage(t *testing.T) {
+	q := NewRED(10_000, 30_000, 0.1, 1)
+	now := time.Duration(0)
+	// Drive the average well above the min threshold.
+	for i := 0; i < 200; i++ {
+		p := &Packet{Bytes: 1400}
+		q.Enqueue(p, now)
+		now += time.Millisecond
+		if q.Bytes() > 25_000 {
+			q.Dequeue(now)
+		}
+	}
+	if q.AvgBytes() < float64(q.MinBytes) {
+		t.Skipf("average %f never crossed min threshold; test setup too weak", q.AvgBytes())
+	}
+	for q.Len() > 0 {
+		q.Dequeue(now)
+	}
+	peak := q.AvgBytes()
+	// A 10 s starvation gap (outage upstream), then traffic resumes.
+	now += 10 * time.Second
+	if !q.Enqueue(&Packet{Bytes: 1400}, now) {
+		t.Fatal("first post-outage packet dropped; idle decay failed")
+	}
+	if got := q.AvgBytes(); got >= peak {
+		t.Fatalf("average did not decay across the idle gap: %f → %f", peak, got)
+	}
+}
+
 func TestConservationTraceLinkInvariant(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))

@@ -13,6 +13,8 @@ type ReceiverStats struct {
 	FirstArrival  time.Time
 	LastArrival   time.Time
 	UniquePackets int64
+	// Syns counts handshake probes answered (retransmitted SYNs included).
+	Syns int64
 }
 
 // MeanMbps returns the goodput between first and last arrival.
@@ -103,7 +105,22 @@ func (r *Receiver) loop() {
 			return // closed
 		}
 		h, err := ParseHeader(buf[:n])
-		if err != nil || h.Type != typeData {
+		if err != nil {
+			continue
+		}
+		if h.Type == typeSyn {
+			// Control-channel handshake: echo the probe so the dialing
+			// sender knows the receiver is live. SentNanos is echoed
+			// unchanged — it identifies the attempt on the sender side.
+			r.mu.Lock()
+			r.stats.Syns++
+			r.mu.Unlock()
+			synAck := Header{Type: typeSynAck, Flow: h.Flow, SentNanos: h.SentNanos, Window: h.Window}
+			ackBuf = synAck.Marshal(ackBuf[:0])
+			_, _ = r.conn.WriteToUDP(ackBuf, peer)
+			continue
+		}
+		if h.Type != typeData {
 			continue
 		}
 		now := r.clock.Now()

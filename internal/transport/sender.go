@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"errors"
+	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -23,6 +26,19 @@ type SenderConfig struct {
 	// SystemClock (the real-UDP path); simulated transports inject a
 	// SimClock so the sender runs on netsim virtual time.
 	Clock Clock
+	// HandshakeTimeout bounds the total time Dial spends probing the
+	// receiver before giving up with ErrHandshakeFailed. 0 selects the
+	// 3-second default; a negative value skips the handshake entirely
+	// (required when injecting a virtual Clock: the handshake arms real
+	// socket deadlines, which need a wall-backed clock).
+	HandshakeTimeout time.Duration
+	// HandshakeAttempts bounds the number of SYN probes within the
+	// timeout. Each attempt waits with exponential backoff plus jitter
+	// drawn from HandshakeSeed. 0 selects the default of 5.
+	HandshakeAttempts int
+	// HandshakeSeed seeds the backoff-jitter RNG, keeping retry timing a
+	// pure function of configuration. 0 selects a fixed default seed.
+	HandshakeSeed int64
 }
 
 // DefaultSenderConfig returns the paper's packet size with 5 ms
@@ -31,9 +47,20 @@ func DefaultSenderConfig() SenderConfig {
 	return SenderConfig{PayloadBytes: 1400 - headerSize, Housekeep: 5 * time.Millisecond}
 }
 
+// ErrHandshakeFailed is wrapped by Dial when the receiver never answers the
+// control-channel handshake within the retry budget. Before PR 4 this
+// condition produced a "connected" sender that wedged silently forever.
+var ErrHandshakeFailed = errors.New("transport: handshake failed")
+
 // SenderStats summarizes a sender's run.
 type SenderStats struct {
 	Sent, Retransmits, Acked, Losses, Timeouts int64
+	// HandshakeRetries counts SYN probes beyond the first during Dial.
+	HandshakeRetries int64
+	// Stalls counts no-progress episodes: stretches where repeated RTOs
+	// fired with data pending and no ack arriving. Each episode is counted
+	// once and also reported on the Errors channel.
+	Stalls int64
 	// RTT aggregates round-trip samples in seconds.
 	RTT *stats.Summary
 }
@@ -53,6 +80,7 @@ type Sender struct {
 	stats SenderStats
 
 	ackCh  chan Header
+	errCh  chan error
 	stopCh chan struct{}
 	doneCh chan struct{}
 
@@ -62,8 +90,14 @@ type Sender struct {
 	srtt     time.Duration
 	rttvar   time.Duration
 	lastProg time.Duration
-	backoff  int // consecutive RTOs without progress
+	backoff  int  // consecutive RTOs without progress
+	stalled  bool // a stall episode is open (reported once)
 }
+
+// stallReportAfter is how many consecutive no-progress RTOs open a stall
+// episode. Three back-to-back timeouts with exponential backoff means
+// seconds of silence — long past ordinary loss recovery.
+const stallReportAfter = 3
 
 type pendingPkt struct {
 	seq        int64
@@ -73,7 +107,10 @@ type pendingPkt struct {
 	retx       int
 }
 
-// Dial connects a sender to the receiver at addr and starts its event loop.
+// Dial connects a sender to the receiver at addr, verifies liveness with a
+// bounded-retry control handshake, and starts the event loop. A receiver
+// that never answers produces an error wrapping ErrHandshakeFailed instead
+// of a sender that wedges silently.
 func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -92,6 +129,15 @@ func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = SystemClock()
 	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 3 * time.Second
+	}
+	if cfg.HandshakeAttempts <= 0 {
+		cfg.HandshakeAttempts = 5
+	}
+	if cfg.HandshakeSeed == 0 {
+		cfg.HandshakeSeed = 1
+	}
 	s := &Sender{
 		cfg:    cfg,
 		conn:   conn,
@@ -99,13 +145,113 @@ func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
 		clock:  cfg.Clock,
 		start:  cfg.Clock.Now(),
 		ackCh:  make(chan Header, 1024),
+		errCh:  make(chan error, 8),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 	}
 	s.stats.RTT = stats.NewSummary(1024)
+	if cfg.HandshakeTimeout > 0 {
+		if err := s.handshake(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	go s.readLoop()
 	go s.run()
 	return s, nil
+}
+
+// handshake probes the receiver with typeSyn until the echoed typeSynAck
+// arrives, retrying with exponential backoff plus seeded jitter (±25% of
+// the wait, so synchronized restarts do not re-collide), bounded by both an
+// attempt budget and a total deadline. Runs before the read/event loops
+// start, so it owns the socket.
+func (s *Sender) handshake() error {
+	rng := rand.New(rand.NewSource(s.cfg.HandshakeSeed))
+	deadline := s.clock.Now().Add(s.cfg.HandshakeTimeout)
+	buf := make([]byte, maxPacket)
+	synBuf := make([]byte, 0, headerSize)
+	wait := 100 * time.Millisecond
+	var attempts int
+	for attempts = 0; attempts < s.cfg.HandshakeAttempts; attempts++ {
+		now := s.clock.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		if attempts > 0 {
+			s.mu.Lock()
+			s.stats.HandshakeRetries++
+			s.mu.Unlock()
+		}
+		syn := Header{Type: typeSyn, Flow: s.cfg.Flow, SentNanos: now.UnixNano()}
+		synBuf = syn.Marshal(synBuf[:0])
+		if _, err := s.conn.Write(synBuf); err != nil {
+			// Likely ICMP unreachable surfaced on the connected socket;
+			// back off and retry within the budget like any lost probe.
+			s.sleepUntilNextAttempt(&wait, rng, deadline)
+			continue
+		}
+		jitter := time.Duration(float64(wait) * 0.25 * (rng.Float64()*2 - 1))
+		attemptDeadline := now.Add(wait + jitter)
+		if attemptDeadline.After(deadline) {
+			attemptDeadline = deadline
+		}
+		s.conn.SetReadDeadline(attemptDeadline)
+		got := false
+		for {
+			n, err := s.conn.Read(buf)
+			if err != nil {
+				break // attempt deadline, or unreachable; retry
+			}
+			if h, err := ParseHeader(buf[:n]); err == nil && h.Type == typeSynAck {
+				got = true
+				break
+			}
+			// Anything else (stray data, corrupt datagram) is ignored.
+		}
+		if got {
+			s.conn.SetReadDeadline(time.Time{})
+			return nil
+		}
+		wait *= 2
+	}
+	s.conn.SetReadDeadline(time.Time{})
+	return fmt.Errorf("%w: no answer from %v after %d probes over %v",
+		ErrHandshakeFailed, s.conn.RemoteAddr(), attempts, s.clock.Now().Sub(s.start))
+}
+
+// sleepUntilNextAttempt burns the current backoff interval (with jitter)
+// when the probe could not even be written, without exceeding the deadline.
+// It waits on the socket (which has a read deadline set) rather than the
+// scheduler, keeping the clock the single time source.
+func (s *Sender) sleepUntilNextAttempt(wait *time.Duration, rng *rand.Rand, deadline time.Time) {
+	jitter := time.Duration(float64(*wait) * 0.25 * (rng.Float64()*2 - 1))
+	until := s.clock.Now().Add(*wait + jitter)
+	if until.After(deadline) {
+		until = deadline
+	}
+	s.conn.SetReadDeadline(until)
+	buf := make([]byte, maxPacket)
+	for {
+		if _, err := s.conn.Read(buf); err != nil {
+			break
+		}
+	}
+	*wait *= 2
+}
+
+// Errors exposes the sender's graceful-degradation reports: handshake-level
+// failures after Dial, write errors, and stall episodes (no ack progress
+// through stallReportAfter consecutive RTOs). The channel is buffered and
+// never blocks the event loop; a full buffer drops reports.
+func (s *Sender) Errors() <-chan error { return s.errCh }
+
+// pushErr reports a degradation without ever blocking the event loop.
+func (s *Sender) pushErr(err error) {
+	select {
+	case s.errCh <- err:
+	default:
+	}
 }
 
 // Stats returns a snapshot of the sender's counters. RTT is shared — do not
@@ -134,6 +280,11 @@ func (s *Sender) readLoop() {
 	for {
 		n, err := s.conn.Read(buf)
 		if err != nil {
+			select {
+			case <-s.stopCh: // Close in progress; expected
+			default:
+				s.pushErr(fmt.Errorf("transport: ack channel read failed: %w", err))
+			}
 			return
 		}
 		h, err := ParseHeader(buf[:n])
@@ -193,6 +344,7 @@ func (s *Sender) trySend() {
 		buf = h.Marshal(buf[:0])
 		buf = append(buf, make([]byte, s.cfg.PayloadBytes)...)
 		if _, err := s.conn.Write(buf); err != nil {
+			s.pushErr(fmt.Errorf("transport: send of seq %d failed: %w", h.Seq, err))
 			return
 		}
 		s.pending = append(s.pending, &pendingPkt{seq: h.Seq, sentAt: now, window: int(h.Window)})
@@ -225,6 +377,7 @@ func (s *Sender) handleAck(h Header) {
 	s.updateRTT(rtt)
 	s.lastProg = now
 	s.backoff = 0
+	s.stalled = false // ack progress closes any open stall episode
 
 	s.mu.Lock()
 	s.stats.Acked++
@@ -290,6 +443,7 @@ func (s *Sender) retransmit(p *pendingPkt, now time.Duration) {
 	buf := h.Marshal(make([]byte, 0, headerSize+s.cfg.PayloadBytes))
 	buf = append(buf, make([]byte, s.cfg.PayloadBytes)...)
 	if _, err := s.conn.Write(buf); err != nil {
+		s.pushErr(fmt.Errorf("transport: retransmit of seq %d failed: %w", p.seq, err))
 		return
 	}
 	np := &pendingPkt{seq: p.seq, sentAt: now, window: int(h.Window), retx: p.retx + 1}
@@ -354,6 +508,18 @@ func (s *Sender) checkTimers(now time.Duration) {
 	s.backoff++
 	s.mu.Lock()
 	s.stats.Timeouts++
+	openStall := s.backoff >= stallReportAfter && !s.stalled
+	if openStall {
+		s.stalled = true
+		s.stats.Stalls++
+	}
 	s.mu.Unlock()
+	if openStall {
+		// Graceful degradation instead of a silent wedge: the sender keeps
+		// probing (the RTO backoff continues), but the application learns
+		// the path is dark and can decide to tear down.
+		s.pushErr(fmt.Errorf("transport: flow %d stalled: no ack progress through %d consecutive RTOs (next backoff %v); still probing",
+			s.cfg.Flow, s.backoff, s.rto()))
+	}
 	s.ctrl.OnTimeout(now)
 }

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"errors"
+	"net"
 	"testing"
 	"testing/quick"
 	"time"
@@ -43,7 +45,7 @@ func TestParseHeaderErrors(t *testing.T) {
 // Property: marshal/parse is the identity on valid headers.
 func TestQuickHeaderRoundTrip(t *testing.T) {
 	f := func(flow byte, seq uint32, nanos int64, window uint32, length uint16, kind uint8) bool {
-		types := []byte{typeData, typeAck, typeFin}
+		types := []byte{typeData, typeAck, typeFin, typeSyn, typeSynAck}
 		h := Header{
 			Type:      types[int(kind)%len(types)],
 			Flow:      flow,
@@ -131,6 +133,72 @@ func TestReceiverDoubleCloseSafe(t *testing.T) {
 func TestDialBadAddress(t *testing.T) {
 	if _, err := Dial("not-an-address:xyz", tcp.NewNewReno(), DefaultSenderConfig()); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestDialDeadReceiverFailsFast pins the satellite fix: dialing a port with
+// no receiver must surface ErrHandshakeFailed within the retry budget, not
+// return a wedged sender. (A bound-but-silent socket stands in for the lost
+// control datagram; ICMP refusals from a closed port take the same path.)
+func TestDialDeadReceiverFailsFast(t *testing.T) {
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	cfg := DefaultSenderConfig()
+	cfg.HandshakeTimeout = 700 * time.Millisecond
+	cfg.HandshakeAttempts = 3
+	start := time.Now()
+	s, err := Dial(dead.LocalAddr().String(), tcp.NewNewReno(), cfg)
+	if err == nil {
+		s.Close()
+		t.Fatal("dial of a dead receiver succeeded")
+	}
+	if !errors.Is(err, ErrHandshakeFailed) {
+		t.Fatalf("error %v does not wrap ErrHandshakeFailed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("handshake took %v; the retry budget must bound it", elapsed)
+	}
+}
+
+// TestDialHandshakeDisabled pins the opt-out: a negative HandshakeTimeout
+// skips probing entirely (the pre-PR-4 behavior, needed under virtual
+// clocks).
+func TestDialHandshakeDisabled(t *testing.T) {
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	cfg := DefaultSenderConfig()
+	cfg.HandshakeTimeout = -1
+	s, err := Dial(dead.LocalAddr().String(), tcp.NewNewReno(), cfg)
+	if err != nil {
+		t.Fatalf("handshake-disabled dial failed: %v", err)
+	}
+	s.Close()
+}
+
+// TestHandshakeCountsRetries checks the receiver answers SYNs and that a
+// live path completes without burning retries.
+func TestHandshakeCountsRetries(t *testing.T) {
+	r, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s, err := Dial(r.Addr().String(), tcp.NewNewReno(), DefaultSenderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().HandshakeRetries; got != 0 {
+		t.Fatalf("loopback handshake needed %d retries", got)
+	}
+	if r.Stats().Syns == 0 {
+		t.Fatal("receiver answered no SYN")
 	}
 }
 

@@ -22,6 +22,13 @@ const (
 	typeData = 0x01
 	typeAck  = 0x02
 	typeFin  = 0x03
+	// typeSyn/typeSynAck are the control-channel handshake (PR 4): Dial
+	// probes the receiver with typeSyn and waits for the echoed typeSynAck
+	// before starting the data flow, retrying with jittered exponential
+	// backoff. Before this existed, a dead or unreachable receiver wedged
+	// the sender forever with no error.
+	typeSyn    = 0x04
+	typeSynAck = 0x05
 )
 
 // headerSize is the fixed wire-header length in bytes.
@@ -74,7 +81,7 @@ func ParseHeader(data []byte) (Header, error) {
 		Length:    binary.BigEndian.Uint16(data[22:]),
 	}
 	switch h.Type {
-	case typeData, typeAck, typeFin:
+	case typeData, typeAck, typeFin, typeSyn, typeSynAck:
 	default:
 		return Header{}, fmt.Errorf("transport: unknown packet type 0x%02x", h.Type)
 	}

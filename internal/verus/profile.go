@@ -56,6 +56,20 @@ func newDelayProfile(alpha float64) *delayProfile {
 // numPoints returns the current knot count.
 func (p *delayProfile) numPoints() int { return len(p.wins) }
 
+// reset discards every knot and the fitted curve, returning the profile to
+// its just-constructed state (§4.2 recovery: after a blackout the learned
+// window→delay relationship describes a bearer that no longer exists, so
+// re-learning from scratch beats trusting stale knots). Scratch buffers are
+// kept so the rebuild does not re-allocate.
+func (p *delayProfile) reset() {
+	p.wins = p.wins[:0]
+	p.delays = p.delays[:0]
+	p.stamps = p.stamps[:0]
+	p.maxW = 0
+	p.splReady = false
+	p.dirty = false
+}
+
 // update folds a (window, delay) observation into the profile at epoch now.
 // The common case — an ack for an already-visited window — is a binary
 // search and two stores; a first visit inserts a knot, shifting the tail.

@@ -82,6 +82,23 @@ type Config struct {
 	// StaticProfile freezes the delay profile after its first
 	// interpolation — the ablation of paper Fig. 15.
 	StaticProfile bool
+	// RelearnTimeouts, when positive, discards the learned delay profile
+	// and delay floor after this many consecutive timeouts with no
+	// intervening ack — the signature of a blackout (§4.2). Every knot and
+	// the D_min floor describe the pre-outage bearer; re-learning from
+	// scratch beats reading windows off a curve for a channel that no
+	// longer exists. 0 (the default) keeps the pre-PR-4 behavior: the
+	// profile survives timeouts.
+	RelearnTimeouts int
+	// TimeoutEpochs, when set, opens a timeout epoch at each RTO: acks
+	// inferred to have been sent before the most recent timeout (send time
+	// ≈ now − RTT) are discarded rather than folded into the estimators.
+	// After an outage or handover the network bursts out exactly such
+	// ghosts — packets queued before the stall whose delays say nothing
+	// about the recovered channel — and without the epoch check they both
+	// poison the profile and double-drive the restarted slow start. Off by
+	// default (pre-PR-4 behavior).
+	TimeoutEpochs bool
 }
 
 // DefaultConfig returns the paper's parameter settings with R = 2 (the value
@@ -103,6 +120,17 @@ func DefaultConfig() Config {
 		DMinWindow:         120 * time.Second,
 		ProfileStaleAfter:  10 * time.Second,
 	}
+}
+
+// ResilientConfig returns DefaultConfig with the §4.2 recovery behaviors
+// enabled: timeout-epoch ack filtering and profile re-learning after two
+// consecutive timeouts. This is the configuration the fault scenarios and
+// the chaos suite run.
+func ResilientConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RelearnTimeouts = 2
+	cfg.TimeoutEpochs = true
+	return cfg
 }
 
 // Validate reports configuration errors.
@@ -134,6 +162,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("verus: inflight cap must be >= 1")
 	case c.DMinWindow < 2*c.Epoch:
 		return fmt.Errorf("verus: D_min window must cover at least two epochs")
+	case c.RelearnTimeouts < 0:
+		return fmt.Errorf("verus: relearn-timeouts threshold must be >= 0, got %d", c.RelearnTimeouts)
 	}
 	return nil
 }
@@ -209,11 +239,18 @@ type Verus struct {
 	// delay-profile points for staleness aging.
 	epochNow int64
 
+	// Timeout-epoch recovery state (§4.2, RelearnTimeouts/TimeoutEpochs).
+	consecTimeouts int           // RTOs since the last fresh ack
+	timeoutAt      time.Duration // when the open timeout epoch began
+	timeoutOpen    bool          // a timeout epoch is open
+
 	// Telemetry.
-	epochs   int64
-	losses   int64
-	timeouts int64
-	refits   int64
+	epochs    int64
+	losses    int64
+	timeouts  int64
+	refits    int64
+	staleAcks int64
+	relearns  int64
 }
 
 var _ cc.Controller = (*Verus)(nil)
@@ -279,6 +316,21 @@ func (v *Verus) OnAck(now time.Duration, ack cc.AckSample) {
 	if d <= 0 {
 		return
 	}
+	// Timeout-epoch filter (§4.2): an ack whose packet left before the most
+	// recent RTO is a ghost of the pre-outage channel — typically the
+	// burst-release after a handover or blackout. Its delay describes a
+	// queue that has since been declared dead; folding it into D_min, the
+	// estimators, or the profile poisons all three, and letting it clock
+	// the restarted slow start double-counts data the timeout already wrote
+	// off.
+	if v.cfg.TimeoutEpochs && v.timeoutOpen {
+		if now-ack.RTT < v.timeoutAt {
+			v.staleAcks++
+			return
+		}
+		v.timeoutOpen = false
+	}
+	v.consecTimeouts = 0
 	if d < v.dMinBuckets[1] {
 		v.dMinBuckets[1] = d
 	}
@@ -387,6 +439,11 @@ func (v *Verus) OnLoss(now time.Duration, loss cc.LossEvent) {
 // profile and D_min).
 func (v *Verus) OnTimeout(now time.Duration) {
 	v.timeouts++
+	v.consecTimeouts++
+	if v.cfg.TimeoutEpochs {
+		v.timeoutAt = now
+		v.timeoutOpen = true
+	}
 	// Restarted slow starts must not blast exponentially back into a loaded
 	// network: like TCP's ssthresh, exit at half the pre-timeout window.
 	v.ssCap = math.Max(2, v.cfg.MultDecrease*v.Window())
@@ -396,6 +453,34 @@ func (v *Verus) OnTimeout(now time.Duration) {
 	v.quota = 0
 	v.epochMax = 0
 	v.haveSample = false
+	if v.cfg.RelearnTimeouts > 0 && v.consecTimeouts >= v.cfg.RelearnTimeouts {
+		v.relearn()
+	}
+}
+
+// relearn discards everything Verus knows about the channel — the delay
+// profile, the D_min floor, the delay estimator state — and starts over, as
+// §4.2 prescribes after a blackout: repeated RTOs with no ack in between
+// mean the bearer the knots were learned on is gone, and a window read off
+// that curve is an arbitrary number. The restarted slow start re-probes the
+// recovered channel from scratch.
+func (v *Verus) relearn() {
+	v.relearns++
+	v.consecTimeouts = 0
+	v.profile.reset()
+	v.frozen = false // a StaticProfile refreezes after its first new fit
+	v.dMin = math.Inf(1)
+	v.dMinBuckets[0] = math.Inf(1)
+	v.dMinBuckets[1] = math.Inf(1)
+	v.dMinTicks = 0
+	v.dMax = 0
+	v.dMaxPrev = 0
+	v.dMaxPrimed = false
+	v.dEst = 0
+	v.wAtRefit = 0
+	v.maxWAtRefit = 0
+	// With no floor, a restarted slow start cannot exit on the N×D_min
+	// test; let it probe to the ssthresh cap set above.
 }
 
 // Tick implements cc.Controller: the per-epoch estimation loop of §4.
@@ -587,4 +672,11 @@ func (v *Verus) ProfileSnapshot() (windows []int, pointDelays []float64, curve [
 // timeouts, and profile refits.
 func (v *Verus) Stats() (epochs, losses, timeouts, refits int64) {
 	return v.epochs, v.losses, v.timeouts, v.refits
+}
+
+// RecoveryStats returns the §4.2 recovery-path counters: acks discarded by
+// the timeout-epoch filter and full profile re-learns after consecutive
+// timeouts. Both stay zero under DefaultConfig.
+func (v *Verus) RecoveryStats() (staleAcks, relearns int64) {
+	return v.staleAcks, v.relearns
 }
