@@ -72,7 +72,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the competing-traffic delay bars (Fig. 3).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure3(int64(i+1), 0)
+		r := experiments.Figure3(int64(i+1), 0, nil)
 		b.ReportMetric(r.DelayOnMs[2], "on-delay-ms")
 		b.ReportMetric(r.DelayOffMs[2], "off-delay-ms")
 	}
@@ -205,7 +205,7 @@ func BenchmarkFigure15(b *testing.B) {
 // BenchmarkSensitivity regenerates the §5.3 parameter study.
 func BenchmarkSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Sensitivity(20*time.Second, int64(i+1), 0)
+		r := experiments.Sensitivity(20*time.Second, int64(i+1), 0, nil)
 		b.ReportMetric(float64(len(r.Rows)), "rows")
 	}
 }

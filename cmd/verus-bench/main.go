@@ -16,10 +16,21 @@
 // (tunnel-outage, highway-handover, city-loss) or "all". With -faults set
 // and no -only, only the fault scenarios run.
 //
+// -trace, -chrometrace, and -metrics attach the internal/obs observability
+// layer: -trace writes the virtual-time event stream as JSONL, -chrometrace
+// writes the same stream in Chrome trace_event format (load in
+// chrome://tracing or Perfetto), and -metrics writes the metrics registry
+// as Prometheus text exposition. Observability is strictly passive —
+// enabling it never changes a rendered table (the golden-digest tests lock
+// this in). Output paths are validated up front, before any experiment
+// runs.
+//
 // Usage:
 //
 //	verus-bench [-quick] [-only fig8,table1,...] [-faults name|all] [-seed N]
 //	            [-parallel N] [-benchjson out.json]
+//	            [-trace out.jsonl] [-chrometrace out.json] [-metrics out.prom]
+//	            [-tracecap N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -35,6 +46,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // knownExperiments lists every -only id, in run order.
@@ -117,6 +129,88 @@ func fatalf(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
+// obsOutputs holds the pre-opened observability output files. Creating them
+// before any experiment runs turns a bad path into an immediate exit 2
+// instead of an error after a multi-minute run.
+type obsOutputs struct {
+	trace, chrome, metrics *os.File
+}
+
+// openObsOutputs creates each requested output file. An empty path leaves
+// its slot nil.
+func openObsOutputs(tracePath, chromePath, metricsPath string) (obsOutputs, error) {
+	var out obsOutputs
+	open := func(path, flagName string, dst **os.File) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("%s: %v", flagName, err)
+		}
+		*dst = f
+		return nil
+	}
+	if err := open(tracePath, "-trace", &out.trace); err != nil {
+		return out, err
+	}
+	if err := open(chromePath, "-chrometrace", &out.chrome); err != nil {
+		return out, err
+	}
+	if err := open(metricsPath, "-metrics", &out.metrics); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// writeObsOutputs exports the trace and registry into the pre-opened files.
+func writeObsOutputs(files obsOutputs, tracer *obs.Tracer, registry *obs.Registry) error {
+	export := func(f *os.File, what string, write func(*os.File) error) error {
+		if f == nil {
+			return nil
+		}
+		if err := write(f); err != nil {
+			return fmt.Errorf("%s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%s: %v", what, err)
+		}
+		return nil
+	}
+	var events []obs.Event
+	if tracer != nil {
+		events = tracer.Snapshot()
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("[trace ring overflowed: %d oldest events dropped; raise -tracecap to keep them]\n", d)
+		}
+	}
+	if err := export(files.trace, "-trace", func(f *os.File) error {
+		if err := obs.WriteJSONL(f, events); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %d trace events to %s]\n", len(events), f.Name())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := export(files.chrome, "-chrometrace", func(f *os.File) error {
+		if err := obs.WriteChromeTrace(f, events); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote Chrome trace of %d events to %s]\n", len(events), f.Name())
+		return nil
+	}); err != nil {
+		return err
+	}
+	return export(files.metrics, "-metrics", func(f *os.File) error {
+		if err := obs.WritePrometheus(f, registry); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote metrics exposition to %s]\n", f.Name())
+		return nil
+	})
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity,faults)")
@@ -124,18 +218,31 @@ func main() {
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
+	tracePath := flag.String("trace", "", "write the virtual-time event trace as JSONL to this file")
+	chromePath := flag.String("chrometrace", "", "write the event trace in Chrome trace_event format to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics registry as Prometheus text exposition to this file")
+	traceCap := flag.Int("tracecap", obs.DefaultTraceCapacity, "event ring capacity; oldest events are overwritten beyond it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
-	// Validate -only and -faults before any experiment runs, so a typo
-	// costs nothing.
+	// Validate -only, -faults, and the observability output paths before any
+	// experiment runs, so a typo costs nothing.
 	want, err := parseOnly(*only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
 		os.Exit(2)
 	}
 	faultScenarios, err := parseFaults(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if *traceCap <= 0 {
+		fmt.Fprintf(os.Stderr, "verus-bench: -tracecap must be positive (got %d)\n", *traceCap)
+		os.Exit(2)
+	}
+	obsFiles, err := openObsOutputs(*tracePath, *chromePath, *metricsPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verus-bench: %v\n", err)
 		os.Exit(2)
@@ -182,6 +289,23 @@ func main() {
 	macro.Parallel = *parallel
 	micro.Parallel = *parallel
 
+	// One observer serves the whole run: trials label their series by
+	// derived seed and flow, so even a full parallel sweep shares it safely.
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if obsFiles.trace != nil || obsFiles.chrome != nil {
+		tracer = obs.NewTracer(*traceCap)
+	}
+	if obsFiles.metrics != nil {
+		registry = obs.NewRegistry()
+	}
+	var observer *obs.Observer
+	if tracer != nil || registry != nil {
+		observer = obs.NewObserver(tracer, registry)
+	}
+	macro.Obs = observer
+	micro.Obs = observer
+
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
 	report := benchReport{
@@ -207,7 +331,7 @@ func main() {
 
 	run("fig1", "LTE burst arrivals", func() string { return experiments.Figure1(*seed).Render() })
 	run("fig2", "burst PDFs", func() string { return experiments.Figure2(fig2Dur, *seed, *parallel).Render() })
-	run("fig3", "competing traffic", func() string { return experiments.Figure3(*seed, *parallel).Render() })
+	run("fig3", "competing traffic", func() string { return experiments.Figure3(*seed, *parallel, observer).Render() })
 	run("fig4", "windowed throughput", func() string { return experiments.Figure4(*seed).Render() })
 	run("predictors", "§3 predictability", func() string { return experiments.PredictorStudy(*seed).Render() })
 	run("fig5", "delay profile", func() string { return experiments.Figure5(*seed).Render() })
@@ -223,7 +347,9 @@ func main() {
 	run("fig13", "mixed RTTs", func() string { return experiments.Figure13(micro).Render() })
 	run("fig14", "Verus vs Cubic", func() string { return experiments.Figure14(micro).Render() })
 	run("fig15", "static vs updating profile", func() string { return experiments.Figure15(micro).Render() })
-	run("sensitivity", "§5.3 parameters", func() string { return experiments.Sensitivity(sensDur, *seed, *parallel).Render() })
+	run("sensitivity", "§5.3 parameters", func() string {
+		return experiments.Sensitivity(sensDur, *seed, *parallel, observer).Render()
+	})
 	run("faults", "fault-injection scenarios", func() string {
 		var b strings.Builder
 		for i, name := range faultScenarios {
@@ -238,6 +364,10 @@ func main() {
 		}
 		return b.String()
 	})
+
+	if err := writeObsOutputs(obsFiles, tracer, registry); err != nil {
+		fatalf("%v", err)
+	}
 
 	if *benchjson != "" {
 		b, err := marshalReport(report)

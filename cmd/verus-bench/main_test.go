@@ -1,8 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func TestParseOnlyAcceptsKnownIDs(t *testing.T) {
@@ -103,5 +108,94 @@ func TestKnownExperimentsUnique(t *testing.T) {
 	}
 	if !seen["fig1"] || !seen["sensitivity"] || !seen["predictors"] {
 		t.Errorf("known set incomplete: %v", knownExperiments())
+	}
+}
+
+func TestOpenObsOutputsValidatesUpFront(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.jsonl")
+	promPath := filepath.Join(dir, "m.prom")
+	files, err := openObsOutputs(tracePath, "", promPath)
+	if err != nil {
+		t.Fatalf("openObsOutputs: %v", err)
+	}
+	if files.trace == nil || files.metrics == nil || files.chrome != nil {
+		t.Fatalf("wrong slots opened: %+v", files)
+	}
+	files.trace.Close()
+	files.metrics.Close()
+	for _, p := range []string{tracePath, promPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("output %s not created up front: %v", p, err)
+		}
+	}
+
+	// A bad path must fail before any experiment runs (main exits 2 on it),
+	// and the error must name the flag.
+	_, err = openObsOutputs(filepath.Join(dir, "no/such/dir/t.jsonl"), "", "")
+	if err == nil {
+		t.Fatal("unwritable -trace path accepted")
+	}
+	if !strings.Contains(err.Error(), "-trace") {
+		t.Errorf("error does not name the flag: %v", err)
+	}
+	_, err = openObsOutputs("", filepath.Join(dir, "no/such/dir/c.json"), "")
+	if err == nil || !strings.Contains(err.Error(), "-chrometrace") {
+		t.Errorf("unwritable -chrometrace path: err = %v", err)
+	}
+	_, err = openObsOutputs("", "", filepath.Join(dir, "no/such/dir/m.prom"))
+	if err == nil || !strings.Contains(err.Error(), "-metrics") {
+		t.Errorf("unwritable -metrics path: err = %v", err)
+	}
+}
+
+func TestWriteObsOutputsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracer := obs.NewTracer(16)
+	tracer.Emit(obs.Event{At: time.Millisecond, Kind: obs.KindVerusEpoch, Run: 3, V0: 0.1, V1: 0.05, V2: 12, V3: 4})
+	registry := obs.NewRegistry()
+	registry.Counter("verus_epochs_total").Inc()
+
+	files, err := openObsOutputs(
+		filepath.Join(dir, "t.jsonl"), filepath.Join(dir, "c.json"), filepath.Join(dir, "m.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeObsOutputs(files, tracer, registry); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, "t.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("exported trace does not round-trip: %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != obs.KindVerusEpoch {
+		t.Errorf("round-tripped events = %+v", events)
+	}
+
+	mf, err := os.Open(filepath.Join(dir, "m.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	m, err := obs.ParsePrometheus(mf)
+	if err != nil {
+		t.Fatalf("exported metrics do not round-trip: %v", err)
+	}
+	if m.Values["verus_epochs_total"] != 1 {
+		t.Errorf("metrics values = %v", m.Values)
+	}
+
+	chrome, err := os.ReadFile(filepath.Join(dir, "c.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(chrome), "[") || !strings.HasSuffix(string(chrome), "]\n") {
+		t.Errorf("Chrome trace is not a JSON array:\n%s", chrome)
 	}
 }

@@ -2,19 +2,28 @@
 // full-buffer flow driven by a chosen congestion controller, reporting rate
 // and RTT while it runs.
 //
+// -debug-addr starts an HTTP introspection server: Prometheus text
+// exposition of the sender's live counters (plus the controller's, when it
+// is observable — Verus is) at /metrics, and the standard net/http/pprof
+// handlers under /debug/pprof/.
+//
 // Usage:
 //
 //	verus-client -server 127.0.0.1:9000 -proto verus -r 2 -dur 30s
+//	             [-debug-addr 127.0.0.1:6061]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/sprout"
 	"repro/internal/tcp"
 	"repro/internal/transport"
@@ -46,13 +55,26 @@ func main() {
 	r := flag.Float64("r", 2, "Verus R parameter")
 	dur := flag.Duration("dur", 30*time.Second, "transfer duration")
 	report := flag.Duration("report", 2*time.Second, "stats report interval")
+	debugAddr := flag.String("debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this HTTP address (empty disables)")
 	flag.Parse()
 
 	ctrl, err := controller(*proto, *r)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := transport.Dial(*server, ctrl, transport.DefaultSenderConfig())
+	cfg := transport.DefaultSenderConfig()
+	if *debugAddr != "" {
+		registry := obs.NewRegistry()
+		// Dial registers the sender's counters and attaches the controller
+		// when it is observable.
+		cfg.Obs = obs.NewObserver(nil, registry)
+		http.Handle("/metrics", obs.MetricsHandler(registry))
+		go func() {
+			fmt.Printf("debug server (pprof + /metrics) on http://%s\n", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, nil))
+		}()
+	}
+	s, err := transport.Dial(*server, ctrl, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,171 @@
+// Command verus-obs inspects and converts the observability artifacts that
+// verus-bench (and the transport demos) write: JSONL event traces and
+// Prometheus metric expositions.
+//
+// Subcommands:
+//
+//	verus-obs verify-trace <trace.jsonl>
+//	    Strictly parse a JSONL event trace (unknown kinds, unknown fields,
+//	    and malformed lines are errors) and print a summary: event count,
+//	    virtual-time span, and per-kind totals. CI's trace-smoke step runs
+//	    this against a fresh verus-bench -trace output.
+//
+//	verus-obs verify-metrics <metrics.prom>
+//	    Strictly parse a Prometheus text exposition (every series needs a
+//	    TYPE, duplicates are errors) and print family/series counts.
+//
+//	verus-obs chrome <trace.jsonl> <out.json>
+//	    Convert a JSONL trace to Chrome trace_event format for
+//	    chrome://tracing or Perfetto.
+//
+// Exit status: 0 on success, 1 on malformed input or I/O failure, 2 on
+// usage errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage:
+  verus-obs verify-trace <trace.jsonl>
+  verus-obs verify-metrics <metrics.prom>
+  verus-obs chrome <trace.jsonl> <out.json>
+`)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommand; it is the testable core of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "verify-trace":
+		if len(args) != 2 {
+			usage(stderr)
+			return 2
+		}
+		return verifyTrace(args[1], stdout, stderr)
+	case "verify-metrics":
+		if len(args) != 2 {
+			usage(stderr)
+			return 2
+		}
+		return verifyMetrics(args[1], stdout, stderr)
+	case "chrome":
+		if len(args) != 3 {
+			usage(stderr)
+			return 2
+		}
+		return toChrome(args[1], args[2], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "verus-obs: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+// readTrace strictly parses a JSONL trace file.
+func readTrace(path string, stderr io.Writer) ([]obs.Event, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %v\n", err)
+		return nil, false
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %s: %v\n", path, err)
+		return nil, false
+	}
+	return events, true
+}
+
+func verifyTrace(path string, stdout, stderr io.Writer) int {
+	events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(stderr, "verus-obs: %s: trace is empty\n", path)
+		return 1
+	}
+	var lo, hi time.Duration
+	kinds := make(map[string]int)
+	runs := make(map[int64]struct{})
+	for i, e := range events {
+		if i == 0 || e.At < lo {
+			lo = e.At
+		}
+		if e.At > hi {
+			hi = e.At
+		}
+		kinds[e.Kind.String()]++
+		runs[e.Run] = struct{}{}
+	}
+	fmt.Fprintf(stdout, "%s: %d events, %d runs, virtual time %v..%v\n",
+		path, len(events), len(runs), lo, hi)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(stdout, "  %-22s %d\n", k, kinds[k])
+	}
+	return 0
+}
+
+func verifyMetrics(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	m, err := obs.ParsePrometheus(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %s: %v\n", path, err)
+		return 1
+	}
+	if len(m.Values) == 0 {
+		fmt.Fprintf(stderr, "verus-obs: %s: exposition holds no series\n", path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d series across %d families\n", path, len(m.Values), len(m.Types))
+	return 0
+}
+
+func toChrome(inPath, outPath string, stdout, stderr io.Writer) int {
+	events, ok := readTrace(inPath, stderr)
+	if !ok {
+		return 1
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %v\n", err)
+		return 1
+	}
+	if err := obs.WriteChromeTrace(out, events); err != nil {
+		out.Close()
+		fmt.Fprintf(stderr, "verus-obs: %s: %v\n", outPath, err)
+		return 1
+	}
+	if err := out.Close(); err != nil {
+		fmt.Fprintf(stderr, "verus-obs: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote Chrome trace of %d events to %s\n", len(events), outPath)
+	return 0
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// writeSampleTrace writes a small valid JSONL trace and returns its path.
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	events := []obs.Event{
+		{At: 10 * time.Millisecond, Seq: 0, Kind: obs.KindNetEnqueue, Flow: 0, Run: 7, V0: 1400, V1: 1, V2: 1400},
+		{At: 15 * time.Millisecond, Seq: 1, Kind: obs.KindNetDeliver, Flow: 0, Run: 7, V0: 1400, V1: 0.005},
+		{At: 20 * time.Millisecond, Seq: 2, Kind: obs.KindVerusEpoch, Flow: 0, Run: 7, V0: 0.05, V1: 0.04, V2: 30, V3: 12},
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyTraceAcceptsValid(t *testing.T) {
+	path := writeSampleTrace(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"verify-trace", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, frag := range []string{"3 events", "1 runs", "net.enqueue", "verus.epoch"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestVerifyTraceRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage.jsonl": "not json\n",
+		"unknown.jsonl": `{"seq":0,"at_ns":1,"kind":"no.such.kind"}` + "\n",
+		"extra.jsonl":   `{"seq":0,"at_ns":1,"kind":"net.drop","bogus":1}` + "\n",
+		"empty.jsonl":   "",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"verify-trace", path}, &out, &errBuf); code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr: %s)", name, code, errBuf.String())
+		}
+	}
+}
+
+func TestVerifyMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("verus_epochs_total").Add(12)
+	reg.Gauge("verus_window_pkts").Set(30)
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WritePrometheus(f, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"verify-metrics", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "2 series") {
+		t.Errorf("summary missing series count: %s", out.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.prom")
+	if err := os.WriteFile(bad, []byte("metric_without_type 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"verify-metrics", bad}, &out, &errBuf); code != 1 {
+		t.Errorf("malformed exposition: exit %d, want 1", code)
+	}
+}
+
+func TestChromeConversion(t *testing.T) {
+	in := writeSampleTrace(t)
+	outPath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"chrome", in, outPath}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	// The epoch event becomes a "C" counter sample on the per-flow track.
+	if !strings.HasPrefix(s, "[") || !strings.Contains(s, `"verus flow 0"`) || !strings.Contains(s, `"ph":"C"`) {
+		t.Errorf("Chrome trace malformed:\n%s", s)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"verify-trace"},
+		{"verify-trace", "a", "b"},
+		{"chrome", "only-one-arg"},
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -2,25 +2,33 @@
 // it accepts data packets and acknowledges each one, printing goodput
 // periodically. Pair it with verus-client.
 //
+// -debug-addr starts an HTTP introspection server: Prometheus text
+// exposition of the receiver's live counters at /metrics, and the standard
+// net/http/pprof handlers under /debug/pprof/.
+//
 // Usage:
 //
-//	verus-server -listen :9000
+//	verus-server -listen :9000 [-debug-addr 127.0.0.1:6060]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "UDP listen address")
 	interval := flag.Duration("report", 2*time.Second, "stats report interval")
+	debugAddr := flag.String("debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this HTTP address (empty disables)")
 	flag.Parse()
 
 	r, err := transport.NewReceiver(*listen)
@@ -29,6 +37,18 @@ func main() {
 	}
 	defer r.Close()
 	fmt.Printf("verus-server listening on %s\n", r.Addr())
+
+	if *debugAddr != "" {
+		registry := obs.NewRegistry()
+		r.Observe(obs.NewObserver(nil, registry), 0, 0)
+		// net/http/pprof registered itself on the default mux at import;
+		// /metrics joins it there.
+		http.Handle("/metrics", obs.MetricsHandler(registry))
+		go func() {
+			fmt.Printf("debug server (pprof + /metrics) on http://%s\n", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, nil))
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

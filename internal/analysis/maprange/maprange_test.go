@@ -8,5 +8,5 @@ import (
 )
 
 func TestMapRange(t *testing.T) {
-	analysistest.Run(t, "testdata", maprange.Analyzer, "verus", "maptool")
+	analysistest.Run(t, "testdata", maprange.Analyzer, "verus", "obs", "maptool")
 }

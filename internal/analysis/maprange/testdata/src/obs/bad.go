@@ -1,0 +1,47 @@
+// Package obs is a maprange fixture: a metrics registry snapshot that
+// iterates its series map in raw order leaks map randomization into
+// exporter output, which must be byte-deterministic.
+package obs
+
+import "sort"
+
+// Sample is a miniature of the real registry snapshot entry.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// SnapshotUnsorted walks the series map directly into the output slice —
+// exporter output would differ run to run.
+func SnapshotUnsorted(series map[string]float64) []Sample {
+	var out []Sample
+	for name, v := range series { // want `map iteration order is randomized`
+		out = append(out, Sample{Name: name, Value: v})
+	}
+	return out
+}
+
+// SumValues accumulates floats under map range — the float-reassociation
+// digest hazard.
+func SumValues(series map[string]float64) float64 {
+	var sum float64
+	for _, v := range series { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+// Snapshot is the blessed idiom the real registry uses: collect keys,
+// sort, then read in sorted order.
+func Snapshot(series map[string]float64) []Sample {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Sample{Name: k, Value: series[k]})
+	}
+	return out
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoWallTime(t *testing.T) {
-	analysistest.Run(t, "testdata", nowalltime.Analyzer, "netsim", "clocktool")
+	analysistest.Run(t, "testdata", nowalltime.Analyzer, "netsim", "obs", "clocktool")
 }

@@ -1,0 +1,30 @@
+// Package obs is a nowalltime fixture: the observability layer is bound by
+// the determinism contract — events carry virtual time stamped by their
+// producers, so the tracer and exporters must never read the host clock.
+package obs
+
+import "time"
+
+// Event is a miniature of the real trace record.
+type Event struct {
+	At time.Duration
+}
+
+// StampNow is the regression this fixture guards against: a tracer that
+// "helpfully" timestamps events itself off the wall clock.
+func StampNow() Event {
+	start := time.Now()               // want `time\.Now reads the host clock`
+	e := Event{At: time.Since(start)} // want `time\.Since reads the host clock`
+	return e
+}
+
+// FlushLater is the other tempting mistake: wall-clock-driven export timing
+// inside the observability layer.
+func FlushLater(flush func()) {
+	time.AfterFunc(time.Second, flush) // want `time\.AfterFunc reads the host clock`
+}
+
+// Stamp is the legal shape: the producer passes virtual time in.
+func Stamp(now time.Duration) Event {
+	return Event{At: now}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // These golden tests lock in the runner's determinism contract for every
@@ -22,22 +23,24 @@ import (
 // completion order must never leak into results.
 
 // goldenCases enumerates every harness that submits trials through
-// runner.Pool, each at the smallest scale its clamps allow.
-func goldenCases() []struct {
+// runner.Pool, each at the smallest scale its clamps allow. A non-nil o is
+// attached to every harness — the observability-passivity test uses it to
+// prove a live tracer and registry leave each digest untouched.
+func goldenCases(o *obs.Observer) []struct {
 	name   string
 	render func(parallel int) string
 } {
 	macro := func(parallel int) MacroOptions {
-		return MacroOptions{Duration: 8 * time.Second, Reps: 2, Seed: 123, Parallel: parallel}
+		return MacroOptions{Duration: 8 * time.Second, Reps: 2, Seed: 123, Parallel: parallel, Obs: o}
 	}
 	micro := func(parallel int) MicroOptions {
-		return MicroOptions{Duration: 12 * time.Second, Seed: 123, Parallel: parallel}
+		return MicroOptions{Duration: 12 * time.Second, Seed: 123, Parallel: parallel, Obs: o}
 	}
 	// Fault scenarios run longer than the other golden cases so the timed
 	// impairments end well inside the run and the recovery column is real.
 	fault := func(name string, parallel int) string {
 		res, err := FaultScenario(name, MacroOptions{
-			Duration: 30 * time.Second, Reps: 1, Seed: 123, Parallel: parallel,
+			Duration: 30 * time.Second, Reps: 1, Seed: 123, Parallel: parallel, Obs: o,
 		})
 		if err != nil {
 			panic(err)
@@ -49,7 +52,7 @@ func goldenCases() []struct {
 		render func(parallel int) string
 	}{
 		{"Figure2", func(p int) string { return Figure2(10*time.Second, 123, p).Render() }},
-		{"Figure3", func(p int) string { return Figure3(123, p).Render() }},
+		{"Figure3", func(p int) string { return Figure3(123, p, o).Render() }},
 		{"Figure8", func(p int) string { return Figure8(macro(p)).Render() }},
 		{"Figure9", func(p int) string { return Figure9(macro(p)).Render() }},
 		{"Figure10", func(p int) string { return Figure10(macro(p)).Render() }},
@@ -60,7 +63,7 @@ func goldenCases() []struct {
 		{"Figure13", func(p int) string { return Figure13(micro(p)).Render() }},
 		{"Figure14", func(p int) string { return Figure14(micro(p)).Render() }},
 		{"Figure15", func(p int) string { return Figure15(micro(p)).Render() }},
-		{"Sensitivity", func(p int) string { return Sensitivity(8*time.Second, 123, p).Render() }},
+		{"Sensitivity", func(p int) string { return Sensitivity(8*time.Second, 123, p, o).Render() }},
 		{"FaultTunnelOutage", func(p int) string { return fault(faults.ScenarioTunnelOutage, p) }},
 		{"FaultHighwayHandover", func(p int) string { return fault(faults.ScenarioHighwayHandover, p) }},
 		{"FaultCityLoss", func(p int) string { return fault(faults.ScenarioCityLoss, p) }},
@@ -68,7 +71,7 @@ func goldenCases() []struct {
 }
 
 func TestGoldenSerialParallelEquivalence(t *testing.T) {
-	for _, tc := range goldenCases() {
+	for _, tc := range goldenCases(nil) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			serial := tc.render(1)
@@ -108,7 +111,7 @@ const goldenDigestPath = "testdata/golden_digests.txt"
 func TestGoldenReferenceDigests(t *testing.T) {
 	got := make(map[string]string)
 	var order []string
-	for _, tc := range goldenCases() {
+	for _, tc := range goldenCases(nil) {
 		sum := sha256.Sum256([]byte(tc.render(8)))
 		got[tc.name] = fmt.Sprintf("%x", sum)
 		order = append(order, tc.name)
@@ -172,6 +175,43 @@ func readGoldenDigests(t *testing.T) map[string]string {
 		t.Fatal(err)
 	}
 	return want
+}
+
+// TestGoldenDigestsWithObservability is the observability-passivity
+// contract: with a live tracer AND a live metrics registry attached to every
+// harness, all committed digests still match — serial and parallel-8 alike.
+// Tracing and metrics must never feed back into protocol arithmetic, read
+// the wall clock, or draw randomness; a digest shift here means some
+// instrumentation point broke that rule. The test also asserts the observer
+// actually saw traffic, so it cannot pass vacuously with unwired hooks.
+func TestGoldenDigestsWithObservability(t *testing.T) {
+	want := readGoldenDigests(t)
+	o := obs.NewObserver(obs.NewTracer(1<<14), obs.NewRegistry())
+	for _, tc := range goldenCases(o) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, ok := want[tc.name]
+			if !ok {
+				t.Fatalf("no committed digest for %s", tc.name)
+			}
+			serial := fmt.Sprintf("%x", sha256.Sum256([]byte(tc.render(1))))
+			parallel := fmt.Sprintf("%x", sha256.Sum256([]byte(tc.render(8))))
+			if serial != w {
+				t.Errorf("serial render with observability attached digests %s != committed %s — tracing/metrics perturbed the run",
+					serial[:16], w[:16])
+			}
+			if parallel != w {
+				t.Errorf("parallel-8 render with observability attached digests %s != committed %s — tracing/metrics perturbed the run",
+					parallel[:16], w[:16])
+			}
+		})
+	}
+	if o.Tracer().Emitted() == 0 {
+		t.Error("tracer saw no events across every golden case; instrumentation is not wired")
+	}
+	if len(o.Registry().Snapshot()) == 0 {
+		t.Error("registry holds no series across every golden case; instrumentation is not wired")
+	}
 }
 
 // TestGoldenSeedSensitivity guards against the trivial way the equivalence

@@ -48,7 +48,7 @@ func TestFigure2LTESmallerBursts(t *testing.T) {
 }
 
 func TestFigure3CompetitionRaisesDelay(t *testing.T) {
-	r := Figure3(3, 0)
+	r := Figure3(3, 0, nil)
 	for i := range r.Rates {
 		if r.DelayOnMs[i] <= r.DelayOffMs[i] {
 			t.Errorf("rate %g: ON delay %.1f <= OFF delay %.1f", r.Rates[i], r.DelayOnMs[i], r.DelayOffMs[i])
@@ -302,7 +302,7 @@ func TestFigure15UpdatingBeatsStatic(t *testing.T) {
 }
 
 func TestSensitivityRowsComplete(t *testing.T) {
-	r := Sensitivity(20*time.Second, 9, 0)
+	r := Sensitivity(20*time.Second, 9, 0, nil)
 	if len(r.Rows) != 14 {
 		t.Fatalf("rows = %d, want 14", len(r.Rows))
 	}

@@ -96,6 +96,7 @@ func FaultScenario(name string, opts MacroOptions) (FaultScenarioResult, error) 
 					return TraceRun{
 						Trace: tr, Maker: mk, Flows: 4,
 						Duration: opts.Duration, Seed: seed, Faults: plan,
+						Obs: opts.Obs,
 					}.Run()
 				},
 			})

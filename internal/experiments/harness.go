@@ -19,6 +19,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sprout"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -144,6 +145,12 @@ type TraceRun struct {
 	// untouched — the exact pre-fault packet arithmetic, which is what keeps
 	// the committed golden digests stable.
 	Faults *faults.Plan
+	// Obs, when non-nil, attaches the observability layer: the bottleneck
+	// link traces the packet life cycle, fault windows emit begin/end events,
+	// and observable controllers register their counters — all labeled with
+	// run=Seed, flow=index. Nil keeps every instrumentation point on its
+	// zero-cost fast path.
+	Obs *obs.Observer
 }
 
 // Run executes the trace-driven dumbbell and collects per-flow results.
@@ -157,7 +164,9 @@ func (tr TraceRun) Run() RunResult {
 	sim := netsim.NewSim()
 	specs := make([]netsim.FlowSpec, tr.Flows)
 	for i := range specs {
-		specs[i] = netsim.FlowSpec{Ctrl: tr.Maker.New(), AckDelay: tr.BaseOneWay}
+		ctrl := tr.Maker.New()
+		observe(tr.Obs, ctrl, tr.Seed, i)
+		specs[i] = netsim.FlowSpec{Ctrl: ctrl, AckDelay: tr.BaseOneWay}
 	}
 	mkInner := func(dst netsim.Receiver) netsim.Link {
 		var q netsim.Queue
@@ -166,7 +175,9 @@ func (tr TraceRun) Run() RunResult {
 		} else {
 			q = netsim.NewDropTail(tr.QueueBytes)
 		}
-		return netsim.NewTraceLink(sim, q, tr.Trace, tr.BaseOneWay, dst, true, tr.Seed+1)
+		l := netsim.NewTraceLink(sim, q, tr.Trace, tr.BaseOneWay, dst, true, tr.Seed+1)
+		l.Instrument(tr.Obs, tr.Seed)
+		return l
 	}
 	var flink *faults.Link
 	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
@@ -174,6 +185,9 @@ func (tr TraceRun) Run() RunResult {
 			return mkInner(dst)
 		}
 		flink = faults.Wrap(sim, tr.Faults, tr.Seed+2, dst, mkInner)
+		if tr.Obs != nil {
+			flink.Instrument(tr.Obs, tr.Seed)
+		}
 		return flink
 	}, MTU, specs)
 	d.Run(tr.Duration)
@@ -205,6 +219,8 @@ type FixedRun struct {
 	// ExtraMakers appends differently-controlled flows after the first
 	// Flows (Fig. 14's Verus-vs-Cubic mix); they continue the stagger.
 	ExtraMakers []Maker
+	// Obs attaches the observability layer, as in TraceRun.
+	Obs *obs.Observer
 }
 
 // Run executes the fixed-rate dumbbell.
@@ -222,8 +238,10 @@ func (fr FixedRun) Run() RunResult {
 		if idx < len(fr.AckDelays) {
 			ackDelay = fr.AckDelays[idx]
 		}
+		ctrl := m.New()
+		observe(fr.Obs, ctrl, fr.Seed, idx)
 		specs = append(specs, netsim.FlowSpec{
-			Ctrl:     m.New(),
+			Ctrl:     ctrl,
 			AckDelay: ackDelay,
 			Start:    time.Duration(idx) * fr.Stagger,
 		})
@@ -240,6 +258,7 @@ func (fr FixedRun) Run() RunResult {
 	var link *netsim.FixedLink
 	d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
 		link = netsim.NewFixedLink(sim, netsim.NewDropTail(fr.QueueBytes), fr.RateMbps, fr.BaseOneWay, dst, fr.Seed)
+		link.Instrument(fr.Obs, fr.Seed)
 		return link
 	}, MTU, specs)
 	if fr.Mutate != nil && fr.MutateEvery > 0 {
@@ -251,6 +270,18 @@ func (fr FixedRun) Run() RunResult {
 	}
 	d.Run(fr.Duration)
 	return collect(d, fr.Duration)
+}
+
+// observe attaches an observer to a controller when both sides agree: the
+// observer is live and the controller implements obs.Observable (Verus does;
+// the TCP and Sprout baselines run uninstrumented).
+func observe(o *obs.Observer, ctrl cc.Controller, run int64, flow int) {
+	if o == nil {
+		return
+	}
+	if ob, ok := ctrl.(obs.Observable); ok {
+		ob.Observe(o, run, flow)
+	}
 }
 
 func collect(d *netsim.Dumbbell, horizon time.Duration) RunResult {

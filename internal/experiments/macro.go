@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/experiments/runner"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -19,6 +20,10 @@ type MacroOptions struct {
 	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
 	// Output is byte-identical at every setting; see runner.
 	Parallel int
+	// Obs, when non-nil, is shared by every trial: events are labeled by the
+	// per-trial derived seed (run) and flow index, so one observer can absorb
+	// a whole parallel sweep without perturbing results.
+	Obs *obs.Observer
 }
 
 // pool returns the trial executor for these options.
@@ -87,6 +92,7 @@ func Figure8(opts MacroOptions) Figure8Result {
 						return TraceRun{
 							Trace: tr, Maker: mk, Flows: 9,
 							Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+							Obs: opts.Obs,
 						}.Run()
 					},
 				})
@@ -172,6 +178,7 @@ func Figure9(opts MacroOptions) Figure9Result {
 						return TraceRun{
 							Trace: tr, Maker: mk, Flows: 9,
 							Duration: opts.Duration, QueueBytes: bloatBytes, Seed: seed,
+							Obs: opts.Obs,
 						}.Run()
 					},
 				})
@@ -253,6 +260,7 @@ func Figure10(opts MacroOptions) Figure10Result {
 					return TraceRun{
 						Trace: tr, Maker: mk, Flows: 10,
 						Duration: opts.Duration, UseRED: true, Seed: seed,
+						Obs: opts.Obs,
 					}.Run()
 				},
 			})
@@ -338,6 +346,7 @@ func Table1(opts MacroOptions) Table1Result {
 						res := TraceRun{
 							Trace: tr, Maker: mk, Flows: users,
 							Duration: opts.Duration, UseRED: true, Seed: seed,
+							Obs: opts.Obs,
 						}.Run()
 						return stats.WindowedJain(res.PerSecondMbps)
 					},

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -18,6 +19,8 @@ type MicroOptions struct {
 	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
 	// Output is byte-identical at every setting; see runner.
 	Parallel int
+	// Obs, when non-nil, is shared by every trial, as in MacroOptions.
+	Obs *obs.Observer
 }
 
 // pool returns the trial executor for these options.
@@ -99,6 +102,7 @@ func Figure11(opts MicroOptions, scenarioII bool) Figure11Result {
 					Seed:        seed,
 					Mutate:      figure11Mutator(seed, lo, hi, &capSeries),
 					MutateEvery: 5 * time.Second,
+					Obs:         opts.Obs,
 				}.Run()
 				return trial{res: res, capacity: capSeries}
 			},
@@ -164,6 +168,7 @@ func Figure12(opts MicroOptions) Figure12Result {
 			RateMbps: 90, Maker: VerusMaker(2), Flows: flows,
 			Duration: dur, QueueBytes: 2_000_000,
 			BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: seed,
+			Obs: opts.Obs,
 		}.Run()
 	})
 
@@ -235,6 +240,7 @@ func Figure13(opts MicroOptions) Figure13Result {
 			BaseOneWay: 10 * time.Millisecond, // forward leg; reverse differs per flow
 			AckDelays:  ackDelays,
 			Seed:       seed,
+			Obs:        opts.Obs,
 		}.Run()
 	})
 	out := Figure13Result{RTTs: rtts}
@@ -284,6 +290,7 @@ func Figure14(opts MicroOptions) Figure14Result {
 			ExtraMakers: []Maker{CubicMaker(), CubicMaker(), CubicMaker()},
 			Duration:    dur, QueueBytes: 1_000_000,
 			BaseOneWay: 10 * time.Millisecond, Stagger: stagger, Seed: seed,
+			Obs: opts.Obs,
 		}.Run()
 	})
 	out := Figure14Result{}
@@ -349,7 +356,8 @@ func Figure15(opts MicroOptions) Figure15Result {
 				Run: func(seed int64) RunResult {
 					tr := cellTrace(cellular.Tech3G, sc, 12, opts.Duration, seed)
 					return TraceRun{Trace: tr, Maker: mk, Flows: 1,
-						Duration: opts.Duration, QueueBytes: 2_000_000, Seed: seed}.Run()
+						Duration: opts.Duration, QueueBytes: 2_000_000, Seed: seed,
+						Obs: opts.Obs}.Run()
 				},
 			})
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/verus"
 )
 
@@ -131,8 +132,9 @@ type SensitivityRow struct {
 // {0.25,0.5,1,2,5 s}, and δ pairs, one Verus flow on a 3G channel each.
 // Every parameter setting is one trial on a pool of `parallel` workers
 // (0 = GOMAXPROCS, 1 = serial); all trials share one key so each setting
-// faces the identical channel, as the sweep requires.
-func Sensitivity(d time.Duration, seed int64, parallel int) SensitivityResult {
+// faces the identical channel, as the sweep requires. A non-nil o attaches
+// the observability layer to every trial.
+func Sensitivity(d time.Duration, seed int64, parallel int, o *obs.Observer) SensitivityResult {
 	// One trace, generated from the shared trial seed, drives every setting.
 	// Trials only read it, so sharing it across workers is safe.
 	tr := cellTrace(cellular.Tech3G, cellular.CampusPedestrian, 10, d, runner.DeriveSeed(seed, 0))
@@ -171,7 +173,7 @@ func Sensitivity(d time.Duration, seed int64, parallel int) SensitivityResult {
 				st.mut(&cfg)
 				mk := Maker{Name: "verus", New: func() cc.Controller { return verus.New(cfg) }}
 				res := TraceRun{Trace: tr, Maker: mk, Flows: 1, Duration: d,
-					QueueBytes: 2_000_000, Seed: trialSeed}.Run()
+					QueueBytes: 2_000_000, Seed: trialSeed, Obs: o}.Run()
 				return SensitivityRow{st.param, st.value, res.MeanMbps(), res.MeanDelay() * 1000}
 			},
 		})

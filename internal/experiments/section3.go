@@ -9,6 +9,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/stats"
 )
@@ -179,8 +180,9 @@ type Figure3Result struct {
 // rate while user 2 alternates 10 Mbps ON/OFF in one-minute periods over a
 // shared 3G cell near saturation (the paper's combined rates "almost equal
 // to the 3G channel capacity"). Each of user 1's rates is one trial on a
-// pool of `parallel` workers (0 = GOMAXPROCS, 1 = serial).
-func Figure3(seed int64, parallel int) Figure3Result {
+// pool of `parallel` workers (0 = GOMAXPROCS, 1 = serial). A non-nil o
+// attaches the observability layer to each trial's bottleneck link.
+func Figure3(seed int64, parallel int, o *obs.Observer) Figure3Result {
 	const cellMbps = 18 // HSPA+ sector capacity: both users ON ≈ saturation
 	out := Figure3Result{Rates: []float64{1, 5, 10}}
 	type onOff struct{ onMs, offMs float64 }
@@ -193,7 +195,9 @@ func Figure3(seed int64, parallel int) Figure3Result {
 				tr := cellTrace(cellular.Tech3G, cellular.CampusStationary, cellMbps, 6*time.Minute, trialSeed)
 				sim := netsim.NewSim()
 				d := netsim.NewDumbbell(sim, func(dst netsim.Receiver) netsim.Link {
-					return netsim.NewTraceLink(sim, netsim.NewDropTail(2_000_000), tr, 15*time.Millisecond, dst, false, trialSeed+1)
+					l := netsim.NewTraceLink(sim, netsim.NewDropTail(2_000_000), tr, 15*time.Millisecond, dst, false, trialSeed+1)
+					l.Instrument(o, trialSeed)
+					return l
 				}, MTU, []netsim.FlowSpec{
 					{CBRMbps: rate},
 					{CBRMbps: 10, OnFor: time.Minute, OffFor: time.Minute},

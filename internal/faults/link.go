@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Link decorates a netsim.Link with a fault Plan. It interposes on both
@@ -36,8 +37,30 @@ type Link struct {
 	// no-fault budget, BENCH_pr4.json). Recomputed on every event toggle.
 	fast bool
 
+	// Observability: fault-window events only (begin/end), never per-packet
+	// — the inner link already traces those. Nil when disabled.
+	obs    *obs.Observer
+	obsRun int64
+
 	// Counters accounts every packet the decorator touches.
 	Counters
+}
+
+// Instrument attaches an observer; fault-plan windows (outages, handovers)
+// are emitted as begin/end event pairs labeled with run. Flow is -1: a
+// fault window affects the whole link, not one flow.
+func (l *Link) Instrument(o *obs.Observer, run int64) {
+	l.obs = o
+	l.obsRun = run
+}
+
+// emitFault records a fault-window edge when tracing is attached.
+func (l *Link) emitFault(kind obs.Kind, str string, v0, v1 float64) {
+	if l.obs == nil {
+		return
+	}
+	l.obs.Emit(obs.Event{At: l.sim.Now(), Kind: kind, Flow: -1, Run: l.obsRun,
+		Str: str, V0: v0, V1: v1})
 }
 
 // Wrap builds the inner link via mk — pointed at the decorator's egress tap
@@ -199,8 +222,10 @@ func (l *Link) startOutage(dur time.Duration) {
 	// conservation identity extends through the fault layer.
 	q := l.inner.Queue()
 	now := l.sim.Now()
+	var drained float64
 	for p := q.Dequeue(now); p != nil; p = q.Dequeue(now) {
 		l.QueueDrained++
+		drained++
 	}
 	// A stall interrupted by an outage loses its held packets too.
 	if l.inStall || len(l.held) > 0 {
@@ -208,15 +233,18 @@ func (l *Link) startOutage(dur time.Duration) {
 		l.Held -= int64(len(l.held))
 		l.held = l.held[:0]
 	}
+	l.emitFault(obs.KindFaultBegin, "outage", dur.Seconds(), drained)
 	l.sim.After(dur, func() {
 		l.inOutage = false
 		l.updateFast()
+		l.emitFault(obs.KindFaultEnd, "outage", 0, 0)
 	})
 }
 
 func (l *Link) startStall(dur time.Duration) {
 	l.inStall = true
 	l.updateFast()
+	l.emitFault(obs.KindFaultBegin, "handover", dur.Seconds(), 0)
 	l.sim.After(dur, func() {
 		l.inStall = false
 		l.updateFast()
@@ -227,6 +255,7 @@ func (l *Link) startStall(dur time.Duration) {
 		l.held = nil
 		l.Held -= int64(len(held))
 		l.Released += int64(len(held))
+		l.emitFault(obs.KindFaultEnd, "handover", float64(len(held)), 0)
 		for _, p := range held {
 			l.deliver(p)
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,7 @@ type FixedLink struct {
 	propDly  time.Duration
 	lossProb float64
 	busy     bool
+	obs      *linkObs
 
 	// Delivered counts packets that exited the link.
 	Delivered int64
@@ -90,10 +92,23 @@ func (l *FixedLink) SetLossProb(p float64) {
 // Queue implements Link.
 func (l *FixedLink) Queue() Queue { return l.queue }
 
+// Instrument attaches an observer for packet-level tracing and link
+// counters; run labels the trial. A nil observer leaves the link on its
+// disabled fast path.
+func (l *FixedLink) Instrument(o *obs.Observer, run int64) {
+	l.obs = newLinkObs(o, run)
+}
+
 // Send implements Link.
 func (l *FixedLink) Send(p *Packet) {
 	if !l.queue.Enqueue(p, l.sim.Now()) {
+		if l.obs != nil {
+			l.obs.onDrop(l.sim.Now(), p, "queue")
+		}
 		return
+	}
+	if l.obs != nil {
+		l.obs.onEnqueue(l.sim.Now(), p, l.queue.Len(), l.queue.Bytes())
 	}
 	if !l.busy {
 		l.serveNext()
@@ -111,8 +126,14 @@ func (l *FixedLink) serveNext() {
 	l.sim.After(ser, func() {
 		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
 			l.Lost++
+			if l.obs != nil {
+				l.obs.onDrop(l.sim.Now(), p, "loss")
+			}
 		} else {
 			l.Delivered++
+			if l.obs != nil {
+				l.obs.onDeliver(l.sim.Now(), p)
+			}
 			pkt := p
 			l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
 		}
@@ -136,6 +157,7 @@ type TraceLink struct {
 	propDly  time.Duration
 	lossProb float64
 	loop     bool
+	obs      *linkObs
 	// headServed is how many bytes of the head packet have already been
 	// served by earlier opportunities (RLC-style segmentation: a packet may
 	// span several transmission opportunities).
@@ -179,9 +201,23 @@ func (l *TraceLink) SetLossProb(p float64) {
 // Queue implements Link.
 func (l *TraceLink) Queue() Queue { return l.queue }
 
+// Instrument attaches an observer for packet-level tracing and link
+// counters; run labels the trial.
+func (l *TraceLink) Instrument(o *obs.Observer, run int64) {
+	l.obs = newLinkObs(o, run)
+}
+
 // Send implements Link.
 func (l *TraceLink) Send(p *Packet) {
-	l.queue.Enqueue(p, l.sim.Now())
+	if !l.queue.Enqueue(p, l.sim.Now()) {
+		if l.obs != nil {
+			l.obs.onDrop(l.sim.Now(), p, "queue")
+		}
+		return
+	}
+	if l.obs != nil {
+		l.obs.onEnqueue(l.sim.Now(), p, l.queue.Len(), l.queue.Bytes())
+	}
 }
 
 func (l *TraceLink) scheduleOp(idx int, base time.Duration) {
@@ -220,9 +256,15 @@ func (l *TraceLink) serve(budget int) {
 		p := l.queue.Dequeue(l.sim.Now())
 		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
 			l.Lost++
+			if l.obs != nil {
+				l.obs.onDrop(l.sim.Now(), p, "loss")
+			}
 			continue
 		}
 		l.Delivered++
+		if l.obs != nil {
+			l.obs.onDeliver(l.sim.Now(), p)
+		}
 		pkt := p
 		l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
 	}

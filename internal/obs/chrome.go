@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (load chrome://tracing or https://ui.perfetto.dev). pid groups by run,
+// tid by flow, ts/dur are microseconds of virtual time.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur,omitempty"`
+	Pid  int64              `json:"pid"`
+	Tid  int32              `json:"tid"`
+	S    string             `json:"s,omitempty"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders events in Chrome trace_event format:
+//
+//   - verus.epoch events become "C" (counter) tracks, one per flow, so the
+//     window, quota, and delay estimates plot as stacked time series;
+//   - fault.begin/fault.end pairs become "X" (complete) slices spanning the
+//     fault window;
+//   - everything else becomes an "i" (instant) marker.
+//
+// Events must be in emission order (as returned by Tracer.Snapshot); fault
+// windows still open at the end of the trace are emitted as instants.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Open fault windows, keyed by (run, flow, kind string).
+	type faultKey struct {
+		run  int64
+		flow int32
+		str  string
+	}
+	open := make(map[faultKey]Event)
+
+	for _, e := range events {
+		ts := float64(e.At) / 1e3 // ns -> µs
+		switch e.Kind {
+		case KindVerusEpoch:
+			ce := chromeEvent{
+				Name: fmt.Sprintf("verus flow %d", e.Flow),
+				Ph:   "C", Ts: ts, Pid: e.Run, Tid: e.Flow,
+				Args: map[string]float64{
+					"dmax_ms": e.V0 * 1e3,
+					"dest_ms": e.V1 * 1e3,
+					"w_pkts":  e.V2,
+					"quota":   e.V3,
+				},
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		case KindFaultBegin:
+			open[faultKey{e.Run, e.Flow, e.Str}] = e
+		case KindFaultEnd:
+			k := faultKey{e.Run, e.Flow, e.Str}
+			if b, ok := open[k]; ok {
+				delete(open, k)
+				ce := chromeEvent{
+					Name: "fault " + b.Str,
+					Ph:   "X", Ts: float64(b.At) / 1e3, Dur: ts - float64(b.At)/1e3,
+					Pid: e.Run, Tid: e.Flow,
+					Args: map[string]float64{"drained": b.V1, "released": e.V0},
+				}
+				if err := emit(ce); err != nil {
+					return err
+				}
+			} else if err := emit(instant(e, ts)); err != nil {
+				return err
+			}
+		default:
+			if err := emit(instant(e, ts)); err != nil {
+				return err
+			}
+		}
+	}
+	// Unclosed fault windows degrade to instants at their open time.
+	// Deterministic order: events arrived ordered, and at most a handful of
+	// windows stay open, so sweep the original slice rather than the map.
+	for _, e := range events {
+		k := faultKey{e.Run, e.Flow, e.Str}
+		if e.Kind != KindFaultBegin {
+			continue
+		}
+		if _, ok := open[k]; !ok {
+			continue
+		}
+		delete(open, k)
+		if err := emit(instant(e, float64(e.At)/1e3)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func instant(e Event, ts float64) chromeEvent {
+	name := e.Kind.String()
+	if e.Str != "" {
+		name += " " + e.Str
+	}
+	args := make(map[string]float64, 4)
+	meta := kindMeta[e.Kind]
+	for i, v := range [4]float64{e.V0, e.V1, e.V2, e.V3} {
+		if meta.fields[i] != "" {
+			args[meta.fields[i]] = v
+		}
+	}
+	return chromeEvent{Name: name, Ph: "i", Ts: ts, Pid: e.Run, Tid: e.Flow, S: "t", Args: args}
+}

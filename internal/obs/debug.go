@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry as Prometheus text exposition (0.0.4)
+// — the live-introspection endpoint verus-server and verus-client mount at
+// /metrics next to net/http/pprof. A nil registry serves an empty (but
+// valid) exposition. The handler only snapshots; it never blocks recording
+// for longer than the registry mutex.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

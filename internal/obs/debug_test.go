@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport_sent_total").Add(41)
+	r.Gauge("verus_window_pkts").Set(12.5)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, frag := range []string{
+		"# TYPE transport_sent_total counter",
+		"transport_sent_total 41",
+		"verus_window_pkts 12.5",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, body)
+		}
+	}
+	// The exposition must itself parse under the strict reader.
+	if _, err := ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Errorf("served exposition does not round-trip: %v", err)
+	}
+}
+
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("nil registry should serve an empty exposition, got %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies the typed event an Event carries. The set covers the
+// instrumentation points of ISSUE 5: Verus control-loop transitions, netsim
+// packet life cycle, fault-plan activations, and transport liveness.
+type Kind uint8
+
+const (
+	// KindVerusEpoch is one Verus estimation epoch (§4): V0=D_max EWMA (s),
+	// V1=D_est target (s), V2=window W (pkts), V3=epoch quota S (pkts).
+	KindVerusEpoch Kind = iota
+	// KindVerusState is a protocol phase transition; Str is the new state,
+	// V0 the window and V1 the delay target at the transition.
+	KindVerusState
+	// KindVerusRefit is a delay-profile re-interpolation: V0=knots,
+	// V1=max observed window.
+	KindVerusRefit
+	// KindVerusTimeout is an RTO reaching the controller: V0=consecutive
+	// timeouts, V1=restart slow-start cap (ssthresh analogue).
+	KindVerusTimeout
+	// KindVerusTimeoutEpoch marks a §4.2 timeout epoch opening ("open") or
+	// closing on the first fresh ack ("close"); V0=stale acks discarded so
+	// far.
+	KindVerusTimeoutEpoch
+	// KindVerusRelearn is a §4.2 full profile wipe after consecutive
+	// timeouts; V0=total relearns.
+	KindVerusRelearn
+	// KindNetEnqueue is a packet accepted into a bottleneck queue:
+	// V0=bytes, V1=queue length (pkts) after, V2=queued bytes after.
+	KindNetEnqueue
+	// KindNetDrop is a packet lost at the bottleneck: Str names the cause
+	// ("queue" for an enqueue rejection — tail drop or AQM — and "loss" for
+	// loss injection), V0=bytes.
+	KindNetDrop
+	// KindNetDeliver is a packet completing link service: V0=bytes,
+	// V1=sojourn through the bottleneck so far (s, excl. propagation).
+	KindNetDeliver
+	// KindFaultBegin is a fault-plan window opening; Str is the event kind
+	// ("outage", "handover"), V0=window length (s), V1=packets drained from
+	// the queue on entry (outages).
+	KindFaultBegin
+	// KindFaultEnd is the matching window close; V0=packets burst-released
+	// (handovers).
+	KindFaultEnd
+	// KindHandshake is a transport control-channel event; Str is the phase
+	// ("probe", "ok", "fail"), V0=attempt number.
+	KindHandshake
+	// KindRTO is a transport retransmission timeout: V0=consecutive
+	// timeouts (backoff level), V1=the next RTO (s).
+	KindRTO
+	// KindStall is a transport stall episode opening (no ack progress
+	// through consecutive RTOs); V0=consecutive timeouts.
+	KindStall
+
+	numKinds = iota
+)
+
+// kindMeta names each kind and its value slots for the exporters.
+var kindMeta = [numKinds]struct {
+	name   string
+	fields [4]string
+}{
+	KindVerusEpoch:        {"verus.epoch", [4]string{"dmax", "dest", "w", "quota"}},
+	KindVerusState:        {"verus.state", [4]string{"w", "dest", "", ""}},
+	KindVerusRefit:        {"verus.refit", [4]string{"knots", "maxw", "", ""}},
+	KindVerusTimeout:      {"verus.timeout", [4]string{"consec", "sscap", "", ""}},
+	KindVerusTimeoutEpoch: {"verus.timeout_epoch", [4]string{"stale_acks", "", "", ""}},
+	KindVerusRelearn:      {"verus.relearn", [4]string{"relearns", "", "", ""}},
+	KindNetEnqueue:        {"net.enqueue", [4]string{"bytes", "qlen", "qbytes", ""}},
+	KindNetDrop:           {"net.drop", [4]string{"bytes", "", "", ""}},
+	KindNetDeliver:        {"net.deliver", [4]string{"bytes", "sojourn", "", ""}},
+	KindFaultBegin:        {"fault.begin", [4]string{"dur", "drained", "", ""}},
+	KindFaultEnd:          {"fault.end", [4]string{"released", "", "", ""}},
+	KindHandshake:         {"transport.handshake", [4]string{"attempt", "", "", ""}},
+	KindRTO:               {"transport.rto", [4]string{"consec", "rto", "", ""}},
+	KindStall:             {"transport.stall", [4]string{"consec", "", "", ""}},
+}
+
+// kindByName inverts kindMeta for the JSONL parser.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for k, meta := range kindMeta {
+		m[meta.name] = Kind(k)
+	}
+	return m
+}()
+
+// String returns the stable dotted name ("verus.epoch") used by every
+// exporter.
+func (k Kind) String() string {
+	if int(k) < len(kindMeta) {
+		return kindMeta[k].name
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindByName resolves a dotted kind name; ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// Event is one structured trace record. It is a flat value — no pointers,
+// no interfaces — so emitting one allocates nothing and the ring buffer is
+// a single contiguous slab.
+//
+// At is virtual time: simulation time in sim packages, the Clock offset
+// since transport start on the real-UDP path. Seq is the tracer-assigned
+// emission sequence (a total order even when At ties). Run labels the trial
+// (harnesses pass the derived per-trial seed) and Flow the flow index. Str
+// and V0..V3 are kind-specific; see the Kind constants.
+type Event struct {
+	At   time.Duration
+	Seq  uint64
+	Kind Kind
+	Flow int32
+	Run  int64
+	Str  string
+	V0   float64
+	V1   float64
+	V2   float64
+	V3   float64
+}

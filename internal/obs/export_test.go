@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 250 * time.Millisecond, Seq: 0, Kind: KindVerusEpoch, Flow: 0, Run: 123, V0: 0.045, V1: 0.052, V2: 38, V3: 7},
+		{At: 300 * time.Millisecond, Seq: 1, Kind: KindVerusState, Flow: 1, Run: 123, Str: "loss-recovery", V0: 19, V1: 0.05},
+		{At: 2 * time.Second, Seq: 2, Kind: KindFaultBegin, Flow: -1, Run: 123, Str: "outage", V0: 4, V1: 12},
+		{At: 6 * time.Second, Seq: 3, Kind: KindFaultEnd, Flow: -1, Run: 123, Str: "outage", V0: 0},
+		{At: 6*time.Second + time.Microsecond, Seq: 4, Kind: KindNetDrop, Flow: 0, Run: 123, Str: "tail", V0: 1392},
+		{At: 7 * time.Second, Seq: 5, Kind: KindStall, Flow: 0, Run: 7, V0: 3},
+	}
+}
+
+func TestJSONLRoundTripExact(t *testing.T) {
+	want := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestJSONLDeterministicBytes(t *testing.T) {
+	events := sampleEvents()
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSONL output must be byte-identical across calls")
+	}
+}
+
+func TestReadJSONLStrict(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"garbage", "not json\n"},
+		{"unknown kind", `{"seq":0,"at_ns":0,"kind":"bogus.kind","flow":0,"run":1}` + "\n"},
+		{"unknown field", `{"seq":0,"at_ns":0,"kind":"verus.epoch","flow":0,"run":1,"extra":true}` + "\n"},
+		{"too many values", `{"seq":0,"at_ns":0,"kind":"verus.epoch","flow":0,"run":1,"v":[1,2,3,4,5]}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadJSONL(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ReadJSONL accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var counters, completes, instants int
+	for _, e := range entries {
+		switch e["ph"] {
+		case "C":
+			counters++
+			if e["pid"].(float64) != 123 {
+				t.Fatalf("counter pid = %v, want run 123", e["pid"])
+			}
+			args := e["args"].(map[string]any)
+			if args["w_pkts"].(float64) != 38 {
+				t.Fatalf("counter args = %v, want w_pkts 38", args)
+			}
+		case "X":
+			completes++
+			// 2s..6s outage window: ts=2e6 µs, dur=4e6 µs.
+			if e["ts"].(float64) != 2e6 || e["dur"].(float64) != 4e6 {
+				t.Fatalf("complete event ts/dur = %v/%v, want 2e6/4e6", e["ts"], e["dur"])
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+	}
+	if counters != 1 || completes != 1 || instants != 3 {
+		t.Fatalf("got %d counter, %d complete, %d instant events; want 1, 1, 3", counters, completes, instants)
+	}
+}
+
+func TestChromeTraceUnclosedFaultDegradesToInstant(t *testing.T) {
+	events := []Event{
+		{At: time.Second, Kind: KindFaultBegin, Flow: -1, Run: 1, Str: "handover", V0: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(entries) != 1 || entries[0]["ph"] != "i" {
+		t.Fatalf("entries = %v, want one instant", entries)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("verus_relearns_total", "flow", "0", "run", "123")).Add(3)
+	r.Counter(Labeled("verus_relearns_total", "flow", "1", "run", "123")).Add(1)
+	r.Gauge("verus_window_pkts").Set(38.5)
+	h := r.Histogram("net_sojourn_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	pm, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus rejected our own exposition: %v\n%s", err, buf.String())
+	}
+	if pm.Types["verus_relearns_total"] != "counter" ||
+		pm.Types["verus_window_pkts"] != "gauge" ||
+		pm.Types["net_sojourn_seconds"] != "histogram" {
+		t.Fatalf("types = %v", pm.Types)
+	}
+	checks := map[string]float64{
+		`verus_relearns_total{flow="0",run="123"}`: 3,
+		`verus_relearns_total{flow="1",run="123"}`: 1,
+		`verus_window_pkts`:                        38.5,
+		`net_sojourn_seconds_bucket{le="0.1"}`:     1,
+		`net_sojourn_seconds_bucket{le="1"}`:       2,
+		`net_sojourn_seconds_bucket{le="+Inf"}`:    3,
+		`net_sojourn_seconds_count`:                3,
+	}
+	for name, want := range checks {
+		got, ok := pm.Values[name]
+		if !ok || got != want {
+			t.Errorf("series %q = %v (present=%v), want %v\n%s", name, got, ok, want, buf.String())
+		}
+	}
+	if got := pm.Values["net_sojourn_seconds_sum"]; got < 5.54 || got > 5.56 {
+		t.Errorf("histogram sum = %v, want ≈5.55", got)
+	}
+
+	// Byte determinism: two renders of the same registry are identical.
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WritePrometheus must be byte-deterministic")
+	}
+}
+
+func TestParsePrometheusStrict(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"value without TYPE", "orphan_total 3\n"},
+		{"malformed comment", "# NOPE x y\n"},
+		{"bad value", "# TYPE a gauge\na zero\n"},
+		{"trailing timestamp", "# TYPE a gauge\na 1 1234567\n"},
+		{"duplicate series", "# TYPE a gauge\na 1\na 2\n"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a gauge\n"},
+		{"unterminated labels", "# TYPE a counter\na{x=\"1 2\n"},
+		{"unquoted label", "# TYPE a counter\na{x=1} 2\n"},
+		{"bad metric name", "# TYPE a counter\n1a 2\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ParsePrometheus accepted %q", tc.name, tc.in)
+		}
+	}
+
+	// HELP lines and blank lines are tolerated (other exporters emit them).
+	ok := "# HELP a something\n# TYPE a gauge\n\na 1\n"
+	if _, err := ParsePrometheus(strings.NewReader(ok)); err != nil {
+		t.Errorf("ParsePrometheus rejected valid exposition: %v", err)
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	if got := mergeLabels("", `le="1"`); got != `{le="1"}` {
+		t.Fatalf("mergeLabels empty = %q", got)
+	}
+	if got := mergeLabels(`{flow="0"}`, `le="+Inf"`); got != `{flow="0",le="+Inf"}` {
+		t.Fatalf("mergeLabels = %q", got)
+	}
+}

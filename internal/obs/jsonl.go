@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Virtual time travels as
+// integer nanoseconds and the kind as its dotted name, so the encoding
+// round-trips exactly: ReadJSONL(WriteJSONL(events)) == events. Value slots
+// are written as a trimmed array (trailing zero slots dropped); reading
+// restores the zeros.
+type jsonEvent struct {
+	Seq  uint64    `json:"seq"`
+	AtNs int64     `json:"at_ns"`
+	Kind string    `json:"kind"`
+	Flow int32     `json:"flow"`
+	Run  int64     `json:"run"`
+	Str  string    `json:"str,omitempty"`
+	V    []float64 `json:"v,omitempty"`
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		je := jsonEvent{
+			Seq:  e.Seq,
+			AtNs: int64(e.At),
+			Kind: e.Kind.String(),
+			Flow: e.Flow,
+			Run:  e.Run,
+			Str:  e.Str,
+		}
+		v := [4]float64{e.V0, e.V1, e.V2, e.V3}
+		n := 4
+		for n > 0 && v[n-1] == 0 {
+			n--
+		}
+		if n > 0 {
+			je.V = v[:n]
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream written by WriteJSONL. It is
+// strict: malformed lines, unknown kinds, and oversized value arrays are
+// errors, reported with their 1-based line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		k, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown event kind %q", line, je.Kind)
+		}
+		if len(je.V) > 4 {
+			return nil, fmt.Errorf("obs: jsonl line %d: %d value slots (max 4)", line, len(je.V))
+		}
+		e := Event{
+			At:   time.Duration(je.AtNs),
+			Seq:  je.Seq,
+			Kind: k,
+			Flow: je.Flow,
+			Run:  je.Run,
+			Str:  je.Str,
+		}
+		var v [4]float64
+		copy(v[:], je.V)
+		e.V0, e.V1, e.V2, e.V3 = v[0], v[1], v[2], v[3]
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: jsonl: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// familyOf splits a full series name into its family (the metric name a
+// Prometheus scraper sees) and the label block, "" when unlabeled.
+func familyOf(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabels splices extra "k=\"v\"" pairs into an existing label block
+// ("" for none), producing a full label block.
+func mergeLabels(block string, extra ...string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	parts := make([]string, 0, len(extra)+1)
+	if inner != "" {
+		parts = append(parts, inner)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per family, series sorted by
+// name within sorted families, values in shortest-round-trip form.
+// Histograms expose cumulative `_bucket{le="..."}` series, `_sum`, and
+// `_count`, with histogram labels merged into the le block.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+
+	// Group into families first: sorted sample order does not guarantee a
+	// family's series are adjacent ('_' sorts before '{'), and the text
+	// format requires each family written exactly once.
+	byFamily := make(map[string][]Sample)
+	for _, s := range samples {
+		fam, _ := familyOf(s.Name)
+		byFamily[fam] = append(byFamily[fam], s)
+	}
+	keys := make([]string, 0, len(byFamily))
+	for k := range byFamily {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	bw := bufio.NewWriter(w)
+	for _, fam := range keys {
+		group := byFamily[fam]
+		kind := group[0].Kind
+		for _, s := range group {
+			if s.Kind != kind {
+				return fmt.Errorf("obs: family %q mixes %v and %v series", fam, kind, s.Kind)
+			}
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kind)
+		for _, s := range group {
+			_, labels := familyOf(s.Name)
+			switch s.Kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", fam, labels, formatPromValue(s.Value))
+			case KindHistogram:
+				for i, bound := range s.BucketBounds {
+					le := mergeLabels(labels, `le="`+formatPromValue(bound)+`"`)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, le, s.Buckets[i])
+				}
+				inf := mergeLabels(labels, `le="+Inf"`)
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, inf, s.Count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", fam, labels, formatPromValue(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", fam, labels, s.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromMetrics is the result of ParsePrometheus: the declared family types
+// and every series value.
+type PromMetrics struct {
+	Types  map[string]string  // family -> "counter" | "gauge" | "histogram"
+	Values map[string]float64 // full series name -> value
+}
+
+// ParsePrometheus is a strict scanner for the text exposition format as
+// WritePrometheus produces it (and as any conformant exposition should
+// look). It rejects malformed lines, series whose family lacks a `# TYPE`
+// declaration, duplicate series, and unbalanced label blocks — it is the
+// exporter's round-trip test oracle and the CI smoke check.
+func ParsePrometheus(r io.Reader) (*PromMetrics, error) {
+	pm := &PromMetrics{Types: make(map[string]string), Values: make(map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: prom line %d: unknown type %q", line, fields[3])
+				}
+				if _, dup := pm.Types[fields[2]]; dup {
+					return nil, fmt.Errorf("obs: prom line %d: duplicate TYPE for %q", line, fields[2])
+				}
+				pm.Types[fields[2]] = fields[3]
+				continue
+			}
+			return nil, fmt.Errorf("obs: prom line %d: malformed comment %q", line, text)
+		}
+		name, value, err := parsePromSeries(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: %w", line, err)
+		}
+		fam, _ := familyOf(name)
+		if !promFamilyDeclared(pm.Types, fam) {
+			return nil, fmt.Errorf("obs: prom line %d: series %q has no TYPE declaration", line, name)
+		}
+		if _, dup := pm.Values[name]; dup {
+			return nil, fmt.Errorf("obs: prom line %d: duplicate series %q", line, name)
+		}
+		pm.Values[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: prom: %w", err)
+	}
+	return pm, nil
+}
+
+// promFamilyDeclared checks fam or, for histogram component series, the
+// base family (stripping _bucket/_sum/_count) against the TYPE table.
+func promFamilyDeclared(types map[string]string, fam string) bool {
+	if _, ok := types[fam]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(fam, suffix)
+		if found && types[base] == "histogram" {
+			return true
+		}
+	}
+	return false
+}
+
+// parsePromSeries splits "name{labels} value" or "name value", validating
+// the label block's quoting and structure.
+func parsePromSeries(text string) (name string, value float64, err error) {
+	var rest string
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		end, err := scanLabelBlock(text[i:])
+		if err != nil {
+			return "", 0, err
+		}
+		name = text[:i+end]
+		rest = text[i+end:]
+	} else {
+		sp := strings.IndexByte(text, ' ')
+		if sp < 0 {
+			return "", 0, fmt.Errorf("series %q has no value", text)
+		}
+		name = text[:sp]
+		rest = text[sp:]
+	}
+	if name == "" || !validPromName(familyName(name)) {
+		return "", 0, fmt.Errorf("invalid metric name in %q", text)
+	}
+	rest = strings.TrimSpace(rest)
+	// The format allows an optional timestamp after the value; reject it
+	// here — nothing in this repo writes one, and strictness is the point.
+	if strings.ContainsAny(rest, " \t") {
+		return "", 0, fmt.Errorf("trailing fields after value in %q", text)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %w", text, err)
+	}
+	return name, v, nil
+}
+
+func familyName(series string) string {
+	fam, _ := familyOf(series)
+	return fam
+}
+
+func validPromName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// scanLabelBlock returns the index just past the closing '}' of the label
+// block starting at s[0] == '{', validating k="v" pair structure.
+func scanLabelBlock(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' || !validPromName(s[start:i]) {
+			return 0, fmt.Errorf("malformed label name in %q", s)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import "sync"
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0:
+// 64Ki events ≈ 6 MB, a few simulated minutes of epoch-rate traffic.
+const DefaultTraceCapacity = 1 << 16
+
+// Tracer is a bounded, ring-buffered event recorder. Emission overwrites
+// the oldest events once the ring is full, so a tracer can stay attached to
+// an arbitrarily long run with fixed memory; Dropped reports how many
+// events the ring no longer holds.
+//
+// The ring is a flat []Event slab allocated once at construction: emitting
+// into it is a mutex acquire and a struct copy, with no steady-state
+// allocation. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	limit   int
+	emitted uint64
+}
+
+// NewTracer returns a tracer holding the last `capacity` events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity), limit: capacity}
+}
+
+// Emit records e, stamping its Seq with the emission sequence number. Safe
+// for concurrent use; a nil tracer discards the event.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.emitted
+	t.emitted++
+	if len(t.buf) < t.limit {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[int(e.Seq)%t.limit] = e
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first, as a fresh slice.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.buf))
+	if len(t.buf) < t.limit {
+		copy(out, t.buf)
+		return out
+	}
+	start := int(t.emitted) % t.limit
+	n := copy(out, t.buf[start:])
+	copy(out[n:], t.buf[:start])
+	return out
+}
+
+// Emitted returns the total number of events ever emitted.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped returns how many emitted events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted - uint64(len(t.buf))
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{At: time.Duration(i) * time.Millisecond, Kind: KindVerusEpoch, V0: float64(i)})
+	}
+	got := tr.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("snapshot len = %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) || e.V0 != float64(i) {
+			t.Fatalf("event %d = {Seq:%d V0:%v}, want {Seq:%d V0:%d}", i, e.Seq, e.V0, i, i)
+		}
+	}
+	if tr.Emitted() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d, want 5, 0", tr.Emitted(), tr.Dropped())
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 11; i++ {
+		tr.Emit(Event{Kind: KindNetDeliver, V0: float64(i)})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	// The ring must hold the last 4 events, oldest first.
+	for i, e := range got {
+		want := uint64(7 + i)
+		if e.Seq != want || e.V0 != float64(want) {
+			t.Fatalf("event %d = {Seq:%d V0:%v}, want Seq=V0=%d", i, e.Seq, e.V0, want)
+		}
+	}
+	if tr.Emitted() != 11 {
+		t.Fatalf("emitted = %d, want 11", tr.Emitted())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if tr.limit != DefaultTraceCapacity {
+		t.Fatalf("limit = %d, want %d", tr.limit, DefaultTraceCapacity)
+	}
+	if cap(tr.buf) != DefaultTraceCapacity {
+		t.Fatalf("cap(buf) = %d, want %d (slab must be pre-allocated)", cap(tr.buf), DefaultTraceCapacity)
+	}
+}
+
+func TestNilTracerAndObserverAreInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindVerusEpoch})
+	if tr.Snapshot() != nil || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+
+	var o *Observer
+	o.Emit(Event{Kind: KindVerusEpoch})
+	if o.Tracer() != nil || o.Registry() != nil {
+		t.Fatal("nil observer must expose nil halves")
+	}
+	o.Counter("x").Inc()
+	o.Gauge("y").Set(1)
+	o.Histogram("z", []float64{1}).Observe(0.5)
+	o.RegisterCounter("w", new(Counter))
+}
+
+// The disabled path of the tracer and observer must not allocate: this is
+// the zero-alloc half of the ≤2% hot-path overhead contract.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var o *Observer
+	e := Event{At: time.Second, Kind: KindVerusEpoch, V0: 1, V1: 2, V2: 3, V3: 4}
+	if n := testing.AllocsPerRun(1000, func() { o.Emit(e) }); n != 0 {
+		t.Fatalf("nil Observer.Emit allocates %v per run, want 0", n)
+	}
+
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(e) }); n != 0 {
+		t.Fatalf("nil Tracer.Emit allocates %v per run, want 0", n)
+	}
+
+	var c *Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("nil Counter.Inc allocates %v per run, want 0", n)
+	}
+
+	// Detached instruments (resolved from a disabled observer once at setup)
+	// also record without allocating.
+	dc := o.Counter("detached")
+	dh := o.Histogram("detached_h", DelayBuckets)
+	if n := testing.AllocsPerRun(1000, func() { dc.Inc(); dh.Observe(0.05) }); n != 0 {
+		t.Fatalf("detached instruments allocate %v per run, want 0", n)
+	}
+}
+
+// The enabled steady-state tracer path must not allocate either — the ring
+// slab is allocated once at construction.
+func TestEnabledTracerSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracer(256)
+	o := NewObserver(tr, nil)
+	e := Event{At: time.Second, Kind: KindVerusEpoch, V0: 1, V1: 2, V2: 3, V3: 4}
+	// Fill the ring first so append never grows it mid-measurement.
+	for i := 0; i < 256; i++ {
+		tr.Emit(e)
+	}
+	if n := testing.AllocsPerRun(1000, func() { o.Emit(e) }); n != 0 {
+		t.Fatalf("steady-state Emit allocates %v per run, want 0", n)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Fatalf("KindByName(%q) = %v, %v; want %v, true", name, back, ok, k)
+		}
+	}
+	if _, ok := KindByName("no.such.kind"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+}

@@ -2,8 +2,11 @@ package transport
 
 import (
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ReceiverStats summarizes what a receiver observed.
@@ -30,12 +33,22 @@ func (s ReceiverStats) MeanMbps() float64 {
 // UDP socket and echoes an acknowledgement (with the sender's timestamp and
 // window tag) for every packet, from which the sender derives delay
 // measurements.
+// receiverCounters are the receiver's telemetry instruments — obs counters
+// so Observe can register the same instruments with a metrics registry.
+type receiverCounters struct {
+	packets, bytes, unique, syns obs.Counter
+}
+
 type Receiver struct {
 	conn  *net.UDPConn
 	clock Clock
 
+	ctrs receiverCounters
+	obs  *obs.Observer // nil unless Observe attached one
+
 	mu     sync.Mutex
-	stats  ReceiverStats
+	first  time.Time
+	last   time.Time
 	seen   map[int64]struct{}
 	closed bool
 	done   chan struct{}
@@ -74,11 +87,37 @@ func NewReceiverWithClock(addr string, clock Clock) (*Receiver, error) {
 // Addr returns the receiver's bound address.
 func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
 
-// Stats returns a snapshot of the receiver's counters.
+// Stats returns a snapshot of the receiver's counters. Like Sender.Stats it
+// is a thin adapter over the registry-visible obs instruments.
 func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	first, last := r.first, r.last
+	r.mu.Unlock()
+	return ReceiverStats{
+		Packets:       r.ctrs.packets.Value(),
+		Bytes:         r.ctrs.bytes.Value(),
+		FirstArrival:  first,
+		LastArrival:   last,
+		UniquePackets: r.ctrs.unique.Value(),
+		Syns:          r.ctrs.syns.Value(),
+	}
+}
+
+// Observe implements obs.Observable: it registers the receiver's counters
+// under run-labeled series (flow is ignored — one receiver serves every
+// flow). Call before traffic arrives.
+func (r *Receiver) Observe(o *obs.Observer, run int64, _ int) {
+	if o == nil {
+		return
+	}
+	r.obs = o
+	label := func(name string) string {
+		return obs.Labeled(name, "run", strconv.FormatInt(run, 10))
+	}
+	o.RegisterCounter(label("transport_rx_packets_total"), &r.ctrs.packets)
+	o.RegisterCounter(label("transport_rx_bytes_total"), &r.ctrs.bytes)
+	o.RegisterCounter(label("transport_rx_unique_total"), &r.ctrs.unique)
+	o.RegisterCounter(label("transport_rx_syns_total"), &r.ctrs.syns)
 }
 
 // Close stops the receiver.
@@ -112,9 +151,7 @@ func (r *Receiver) loop() {
 			// Control-channel handshake: echo the probe so the dialing
 			// sender knows the receiver is live. SentNanos is echoed
 			// unchanged — it identifies the attempt on the sender side.
-			r.mu.Lock()
-			r.stats.Syns++
-			r.mu.Unlock()
+			r.ctrs.syns.Inc()
 			synAck := Header{Type: typeSynAck, Flow: h.Flow, SentNanos: h.SentNanos, Window: h.Window}
 			ackBuf = synAck.Marshal(ackBuf[:0])
 			_, _ = r.conn.WriteToUDP(ackBuf, peer)
@@ -124,16 +161,16 @@ func (r *Receiver) loop() {
 			continue
 		}
 		now := r.clock.Now()
+		r.ctrs.packets.Inc()
+		r.ctrs.bytes.Add(int64(n))
 		r.mu.Lock()
-		r.stats.Packets++
-		r.stats.Bytes += int64(n)
-		if r.stats.FirstArrival.IsZero() {
-			r.stats.FirstArrival = now
+		if r.first.IsZero() {
+			r.first = now
 		}
-		r.stats.LastArrival = now
+		r.last = now
 		if _, dup := r.seen[h.Seq]; !dup {
 			r.seen[h.Seq] = struct{}{}
-			r.stats.UniquePackets++
+			r.ctrs.unique.Inc()
 		}
 		r.mu.Unlock()
 

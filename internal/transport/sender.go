@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -39,6 +41,13 @@ type SenderConfig struct {
 	// HandshakeSeed seeds the backoff-jitter RNG, keeping retry timing a
 	// pure function of configuration. 0 selects a fixed default seed.
 	HandshakeSeed int64
+	// Obs attaches the observability layer: handshake/RTO/stall trace
+	// events and registry-backed counters. nil (the default) keeps the
+	// sender on its disabled nil-check fast path.
+	Obs *obs.Observer
+	// ObsRun labels this sender's metric series and trace events when Obs
+	// is set, so concurrent runs sharing one observer stay distinct.
+	ObsRun int64
 }
 
 // DefaultSenderConfig returns the paper's packet size with 5 ms
@@ -65,6 +74,15 @@ type SenderStats struct {
 	RTT *stats.Summary
 }
 
+// senderCounters are the sender's telemetry instruments. They are obs
+// counters (atomic, zero-value-ready) so Dial can register the very same
+// instruments with a metrics registry; Stats snapshots their values into
+// the legacy SenderStats struct.
+type senderCounters struct {
+	sent, retransmits, acked, losses, timeouts obs.Counter
+	handshakeRetries, stalls                   obs.Counter
+}
+
 // Sender drives a cc.Controller over a real UDP socket. All controller
 // interaction happens on the internal event-loop goroutine, matching the
 // single-threaded contract of cc.Controller.
@@ -76,8 +94,11 @@ type Sender struct {
 
 	start time.Time
 
-	mu    sync.Mutex
-	stats SenderStats
+	ctrs senderCounters
+	obs  *obs.Observer // nil unless cfg.Obs was set
+
+	mu  sync.Mutex
+	rtt *stats.Summary
 
 	ackCh  chan Header
 	errCh  chan error
@@ -144,12 +165,28 @@ func Dial(addr string, ctrl cc.Controller, cfg SenderConfig) (*Sender, error) {
 		ctrl:   ctrl,
 		clock:  cfg.Clock,
 		start:  cfg.Clock.Now(),
+		obs:    cfg.Obs,
 		ackCh:  make(chan Header, 1024),
 		errCh:  make(chan error, 8),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 	}
-	s.stats.RTT = stats.NewSummary(1024)
+	s.rtt = stats.NewSummary(1024)
+	if s.obs != nil {
+		label := func(name string) string {
+			return obs.Labeled(name, "flow", strconv.Itoa(int(cfg.Flow)), "run", strconv.FormatInt(cfg.ObsRun, 10))
+		}
+		s.obs.RegisterCounter(label("transport_sent_total"), &s.ctrs.sent)
+		s.obs.RegisterCounter(label("transport_retransmits_total"), &s.ctrs.retransmits)
+		s.obs.RegisterCounter(label("transport_acked_total"), &s.ctrs.acked)
+		s.obs.RegisterCounter(label("transport_losses_total"), &s.ctrs.losses)
+		s.obs.RegisterCounter(label("transport_timeouts_total"), &s.ctrs.timeouts)
+		s.obs.RegisterCounter(label("transport_handshake_retries_total"), &s.ctrs.handshakeRetries)
+		s.obs.RegisterCounter(label("transport_stalls_total"), &s.ctrs.stalls)
+		if v, ok := ctrl.(obs.Observable); ok {
+			v.Observe(s.obs, cfg.ObsRun, int(cfg.Flow))
+		}
+	}
 	if cfg.HandshakeTimeout > 0 {
 		if err := s.handshake(); err != nil {
 			conn.Close()
@@ -179,10 +216,9 @@ func (s *Sender) handshake() error {
 			break
 		}
 		if attempts > 0 {
-			s.mu.Lock()
-			s.stats.HandshakeRetries++
-			s.mu.Unlock()
+			s.ctrs.handshakeRetries.Inc()
 		}
+		s.emitHandshake("probe", attempts+1)
 		syn := Header{Type: typeSyn, Flow: s.cfg.Flow, SentNanos: now.UnixNano()}
 		synBuf = syn.Marshal(synBuf[:0])
 		if _, err := s.conn.Write(synBuf); err != nil {
@@ -211,13 +247,26 @@ func (s *Sender) handshake() error {
 		}
 		if got {
 			s.conn.SetReadDeadline(time.Time{})
+			s.emitHandshake("ok", attempts+1)
 			return nil
 		}
 		wait *= 2
 	}
 	s.conn.SetReadDeadline(time.Time{})
+	s.emitHandshake("fail", attempts)
 	return fmt.Errorf("%w: no answer from %v after %d probes over %v",
 		ErrHandshakeFailed, s.conn.RemoteAddr(), attempts, s.clock.Now().Sub(s.start))
+}
+
+// emitHandshake records a control-channel handshake phase when tracing is
+// attached. At is the Clock offset since the sender started — the
+// transport's virtual time axis.
+func (s *Sender) emitHandshake(phase string, attempt int) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Emit(obs.Event{At: s.now(), Kind: obs.KindHandshake, Flow: int32(s.cfg.Flow),
+		Run: s.cfg.ObsRun, Str: phase, V0: float64(attempt)})
 }
 
 // sleepUntilNextAttempt burns the current backoff interval (with jitter)
@@ -254,12 +303,23 @@ func (s *Sender) pushErr(err error) {
 	}
 }
 
-// Stats returns a snapshot of the sender's counters. RTT is shared — do not
-// mutate it.
+// Stats returns a snapshot of the sender's counters. It is a thin adapter
+// over the obs instruments Dial registers with a metrics registry when
+// SenderConfig.Obs is set. RTT is shared — do not mutate it.
 func (s *Sender) Stats() SenderStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	rtt := s.rtt
+	s.mu.Unlock()
+	return SenderStats{
+		Sent:             s.ctrs.sent.Value(),
+		Retransmits:      s.ctrs.retransmits.Value(),
+		Acked:            s.ctrs.acked.Value(),
+		Losses:           s.ctrs.losses.Value(),
+		Timeouts:         s.ctrs.timeouts.Value(),
+		HandshakeRetries: s.ctrs.handshakeRetries.Value(),
+		Stalls:           s.ctrs.stalls.Value(),
+		RTT:              rtt,
+	}
 }
 
 // Close stops the sender and closes its socket.
@@ -349,9 +409,7 @@ func (s *Sender) trySend() {
 		}
 		s.pending = append(s.pending, &pendingPkt{seq: h.Seq, sentAt: now, window: int(h.Window)})
 		s.nextSeq++
-		s.mu.Lock()
-		s.stats.Sent++
-		s.mu.Unlock()
+		s.ctrs.sent.Inc()
 		s.ctrl.OnSend(now, h.Seq, len(s.pending))
 	}
 }
@@ -379,9 +437,9 @@ func (s *Sender) handleAck(h Header) {
 	s.backoff = 0
 	s.stalled = false // ack progress closes any open stall episode
 
+	s.ctrs.acked.Inc()
 	s.mu.Lock()
-	s.stats.Acked++
-	s.stats.RTT.Add(rtt.Seconds())
+	s.rtt.Add(rtt.Seconds())
 	s.mu.Unlock()
 
 	s.ctrl.OnAck(now, cc.AckSample{
@@ -420,9 +478,7 @@ func (s *Sender) detectLosses(now time.Duration, ackedSeq int64) {
 	}
 	s.pending = kept
 	for _, p := range lost {
-		s.mu.Lock()
-		s.stats.Losses++
-		s.mu.Unlock()
+		s.ctrs.losses.Inc()
 		s.ctrl.OnLoss(now, cc.LossEvent{Seq: p.seq, SentWindow: p.window, Inflight: len(s.pending)})
 		s.retransmit(p, now)
 	}
@@ -458,9 +514,7 @@ func (s *Sender) retransmit(p *pendingPkt, now time.Duration) {
 	s.pending = append(s.pending, nil)
 	copy(s.pending[pos+1:], s.pending[pos:])
 	s.pending[pos] = np
-	s.mu.Lock()
-	s.stats.Retransmits++
-	s.mu.Unlock()
+	s.ctrs.retransmits.Inc()
 }
 
 func (s *Sender) updateRTT(rtt time.Duration) {
@@ -506,14 +560,20 @@ func (s *Sender) checkTimers(now time.Duration) {
 	s.pending = s.pending[:0]
 	s.lastProg = now
 	s.backoff++
-	s.mu.Lock()
-	s.stats.Timeouts++
+	s.ctrs.timeouts.Inc()
 	openStall := s.backoff >= stallReportAfter && !s.stalled
 	if openStall {
 		s.stalled = true
-		s.stats.Stalls++
+		s.ctrs.stalls.Inc()
 	}
-	s.mu.Unlock()
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{At: now, Kind: obs.KindRTO, Flow: int32(s.cfg.Flow),
+			Run: s.cfg.ObsRun, V0: float64(s.backoff), V1: s.rto().Seconds()})
+		if openStall {
+			s.obs.Emit(obs.Event{At: now, Kind: obs.KindStall, Flow: int32(s.cfg.Flow),
+				Run: s.cfg.ObsRun, V0: float64(s.backoff)})
+		}
+	}
 	if openStall {
 		// Graceful degradation instead of a silent wedge: the sender keeps
 		// probing (the RTO backoff continues), but the application learns

@@ -24,9 +24,11 @@ package verus
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 )
 
 // Config holds the protocol parameters. Defaults follow §5.3 of the paper.
@@ -244,13 +246,23 @@ type Verus struct {
 	timeoutAt      time.Duration // when the open timeout epoch began
 	timeoutOpen    bool          // a timeout epoch is open
 
-	// Telemetry.
-	epochs    int64
-	losses    int64
-	timeouts  int64
-	refits    int64
-	staleAcks int64
-	relearns  int64
+	// Telemetry. Counters are obs instruments so Observe can register them
+	// with a metrics registry without copying; Stats/RecoveryStats remain
+	// thin adapters reading the same instruments.
+	epochs    obs.Counter
+	losses    obs.Counter
+	timeouts  obs.Counter
+	refits    obs.Counter
+	staleAcks obs.Counter
+	relearns  obs.Counter
+
+	// Observability (nil unless Observe attached one). Purely passive:
+	// events carry copies of estimator state; nothing reads back.
+	o       *obs.Observer
+	obsRun  int64
+	obsFlow int32
+	gWindow *obs.Gauge
+	gTarget *obs.Gauge
 }
 
 var _ cc.Controller = (*Verus)(nil)
@@ -325,10 +337,14 @@ func (v *Verus) OnAck(now time.Duration, ack cc.AckSample) {
 	// off.
 	if v.cfg.TimeoutEpochs && v.timeoutOpen {
 		if now-ack.RTT < v.timeoutAt {
-			v.staleAcks++
+			v.staleAcks.Inc()
 			return
 		}
 		v.timeoutOpen = false
+		if v.o != nil {
+			v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusTimeoutEpoch, Flow: v.obsFlow, Run: v.obsRun,
+				Str: "close", V0: float64(v.staleAcks.Value())})
+		}
 	}
 	v.consecTimeouts = 0
 	if d < v.dMinBuckets[1] {
@@ -360,7 +376,7 @@ func (v *Verus) OnAck(now time.Duration, ack cc.AckSample) {
 		v.ssW++
 		exceedsDelay := v.dMin > 0 && !math.IsInf(v.dMin, 1) && d > v.cfg.SlowStartExitN*v.dMin
 		if exceedsDelay || v.ssW >= v.ssCap {
-			v.exitSlowStart(d)
+			v.exitSlowStart(now, d)
 		}
 	case stateRecovery:
 		// TCP-like additive growth while recovering: W += 1/W per ack.
@@ -369,14 +385,14 @@ func (v *Verus) OnAck(now time.Duration, ack cc.AckSample) {
 		}
 		// Exit once packets sent after the decrease are being acked.
 		if ack.SentWindow <= v.wLossExit || ack.SentWindow <= int(v.w+0.5) {
-			v.exitRecovery()
+			v.exitRecovery(now)
 		}
 	}
 }
 
 // exitSlowStart transitions to normal operation: the tuples recorded during
 // slow start become the initial delay profile (§5.1).
-func (v *Verus) exitSlowStart(currentDelay float64) {
+func (v *Verus) exitSlowStart(now time.Duration, currentDelay float64) {
 	v.profile.refit(v.epochNow)
 	if v.cfg.StaticProfile && v.profile.ready() {
 		v.frozen = true
@@ -391,12 +407,13 @@ func (v *Verus) exitSlowStart(currentDelay float64) {
 	v.dMaxPrev = currentDelay
 	v.dMaxPrimed = true
 	v.quota = 0 // next epoch computes the first S
+	v.emitState(now)
 }
 
 // exitRecovery resumes delay-profile control after a loss episode. The delay
 // target is re-anchored to what the profile predicts for the post-decrease
 // window.
-func (v *Verus) exitRecovery() {
+func (v *Verus) exitRecovery(now time.Duration) {
 	v.st = stateNormal
 	if v.profile.ready() {
 		if d := v.profile.delayAt(v.w); d > 0 {
@@ -404,6 +421,16 @@ func (v *Verus) exitRecovery() {
 		}
 	}
 	v.quota = 0
+	v.emitState(now)
+}
+
+// emitState records a protocol phase transition when tracing is attached.
+func (v *Verus) emitState(now time.Duration) {
+	if v.o == nil {
+		return
+	}
+	v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusState, Flow: v.obsFlow, Run: v.obsRun,
+		Str: v.st.String(), V0: v.Window(), V1: v.dEst})
 }
 
 // ceiling returns the delay budget: R × D_min plus one aggressive step, the
@@ -422,7 +449,7 @@ func (v *Verus) OnLoss(now time.Duration, loss cc.LossEvent) {
 	if v.st == stateRecovery {
 		return
 	}
-	v.losses++
+	v.losses.Inc()
 	wLoss := float64(loss.SentWindow)
 	if wLoss <= 0 {
 		wLoss = v.Window()
@@ -431,6 +458,7 @@ func (v *Verus) OnLoss(now time.Duration, loss cc.LossEvent) {
 	v.wLossExit = int(v.w + 0.5)
 	v.st = stateRecovery
 	v.quota = 0
+	v.emitState(now)
 }
 
 // OnTimeout implements cc.Controller. The paper: "Verus also uses a timeout
@@ -438,7 +466,7 @@ func (v *Verus) OnLoss(now time.Duration, loss cc.LossEvent) {
 // collapses and the protocol re-probes with slow start (keeping the learned
 // profile and D_min).
 func (v *Verus) OnTimeout(now time.Duration) {
-	v.timeouts++
+	v.timeouts.Inc()
 	v.consecTimeouts++
 	if v.cfg.TimeoutEpochs {
 		v.timeoutAt = now
@@ -453,8 +481,16 @@ func (v *Verus) OnTimeout(now time.Duration) {
 	v.quota = 0
 	v.epochMax = 0
 	v.haveSample = false
+	if v.o != nil {
+		v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusTimeout, Flow: v.obsFlow, Run: v.obsRun,
+			V0: float64(v.consecTimeouts), V1: v.ssCap})
+		if v.cfg.TimeoutEpochs {
+			v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusTimeoutEpoch, Flow: v.obsFlow, Run: v.obsRun,
+				Str: "open", V0: float64(v.staleAcks.Value())})
+		}
+	}
 	if v.cfg.RelearnTimeouts > 0 && v.consecTimeouts >= v.cfg.RelearnTimeouts {
-		v.relearn()
+		v.relearn(now)
 	}
 }
 
@@ -464,8 +500,12 @@ func (v *Verus) OnTimeout(now time.Duration) {
 // mean the bearer the knots were learned on is gone, and a window read off
 // that curve is an arbitrary number. The restarted slow start re-probes the
 // recovered channel from scratch.
-func (v *Verus) relearn() {
-	v.relearns++
+func (v *Verus) relearn(now time.Duration) {
+	v.relearns.Inc()
+	if v.o != nil {
+		v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusRelearn, Flow: v.obsFlow, Run: v.obsRun,
+			V0: float64(v.relearns.Value())})
+	}
 	v.consecTimeouts = 0
 	v.profile.reset()
 	v.frozen = false // a StaticProfile refreezes after its first new fit
@@ -501,7 +541,11 @@ func (v *Verus) Tick(now time.Duration) {
 		v.maxWAtRefit = v.profile.maxW
 		if !v.frozen {
 			v.profile.refit(v.epochNow)
-			v.refits++
+			v.refits.Inc()
+			if v.o != nil {
+				v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusRefit, Flow: v.obsFlow, Run: v.obsRun,
+					V0: float64(v.profile.numPoints()), V1: float64(v.profile.maxW)})
+			}
 			if v.cfg.StaticProfile && v.profile.ready() {
 				v.frozen = true
 			}
@@ -513,7 +557,7 @@ func (v *Verus) Tick(now time.Duration) {
 		v.haveSample = false
 		return
 	}
-	v.epochs++
+	v.epochs.Inc()
 
 	// Delay Estimator (Eq. 2, 3). With no samples this epoch there is no
 	// new information; carry the previous estimate and leave the target
@@ -550,6 +594,12 @@ func (v *Verus) Tick(now time.Duration) {
 		// No profile yet (e.g. slow start exited on loss after very few
 		// acks): keep a one-packet-per-epoch trickle so acks keep coming.
 		v.quota = 1
+	}
+	if v.o != nil {
+		v.o.Emit(obs.Event{At: now, Kind: obs.KindVerusEpoch, Flow: v.obsFlow, Run: v.obsRun,
+			V0: v.dMax, V1: v.dEst, V2: v.w, V3: v.quota})
+		v.gWindow.Set(v.w)
+		v.gTarget.Set(v.dEst)
 	}
 }
 
@@ -669,14 +719,40 @@ func (v *Verus) ProfileSnapshot() (windows []int, pointDelays []float64, curve [
 }
 
 // Stats returns counters for instrumentation: epochs run, losses handled,
-// timeouts, and profile refits.
+// timeouts, and profile refits. It is a thin adapter over the same obs
+// counters Observe registers with a metrics registry.
 func (v *Verus) Stats() (epochs, losses, timeouts, refits int64) {
-	return v.epochs, v.losses, v.timeouts, v.refits
+	return v.epochs.Value(), v.losses.Value(), v.timeouts.Value(), v.refits.Value()
 }
 
 // RecoveryStats returns the §4.2 recovery-path counters: acks discarded by
 // the timeout-epoch filter and full profile re-learns after consecutive
-// timeouts. Both stay zero under DefaultConfig.
+// timeouts. Both stay zero under DefaultConfig. Like Stats, it reads the
+// registry-visible instruments.
 func (v *Verus) RecoveryStats() (staleAcks, relearns int64) {
-	return v.staleAcks, v.relearns
+	return v.staleAcks.Value(), v.relearns.Value()
+}
+
+// Observe implements obs.Observable: it attaches the observer for event
+// tracing and registers the telemetry counters under per-flow, per-run
+// labeled series. Call before driving the controller; a nil observer (or
+// never calling Observe) leaves the disabled nil-check fast path in place.
+func (v *Verus) Observe(o *obs.Observer, run int64, flow int) {
+	if o == nil {
+		return
+	}
+	v.o = o
+	v.obsRun = run
+	v.obsFlow = int32(flow)
+	label := func(name string) string {
+		return obs.Labeled(name, "flow", strconv.Itoa(flow), "run", strconv.FormatInt(run, 10))
+	}
+	o.RegisterCounter(label("verus_epochs_total"), &v.epochs)
+	o.RegisterCounter(label("verus_losses_total"), &v.losses)
+	o.RegisterCounter(label("verus_timeouts_total"), &v.timeouts)
+	o.RegisterCounter(label("verus_refits_total"), &v.refits)
+	o.RegisterCounter(label("verus_stale_acks_total"), &v.staleAcks)
+	o.RegisterCounter(label("verus_relearns_total"), &v.relearns)
+	v.gWindow = o.Gauge(label("verus_window_pkts"))
+	v.gTarget = o.Gauge(label("verus_delay_target_seconds"))
 }
