@@ -16,6 +16,14 @@
 // (tunnel-outage, highway-handover, city-loss) or "all". With -faults set
 // and no -only, only the fault scenarios run.
 //
+// -metro runs the city-scale multi-cell sweep (internal/experiments.Metro):
+// N cell sectors on a sharded event mesh, swept over thousands of concurrent
+// Verus/Cubic/Sprout flows, rendering per-cell fairness and aggregate delay
+// CDFs. It is opt-in (also reachable as -only metro) because the full sweep
+// runs for minutes; -quick reduces it to one 64-flow point. -shards picks
+// the mesh executor (0 = single-heap reference); every setting renders
+// byte-identical output.
+//
 // -trace, -chrometrace, and -metrics attach the internal/obs observability
 // layer: -trace writes the virtual-time event stream as JSONL, -chrometrace
 // writes the same stream in Chrome trace_event format (load in
@@ -28,7 +36,7 @@
 // Usage:
 //
 //	verus-bench [-quick] [-only fig8,table1,...] [-faults name|all] [-seed N]
-//	            [-parallel N] [-benchjson out.json]
+//	            [-metro] [-shards N] [-parallel N] [-benchjson out.json]
 //	            [-trace out.jsonl] [-chrometrace out.json] [-metrics out.prom]
 //	            [-tracecap N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -53,7 +61,7 @@ import (
 func knownExperiments() []string {
 	return []string{"fig1", "fig2", "fig3", "fig4", "predictors", "fig5", "fig7", "fig8",
 		"fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14", "fig15", "sensitivity",
-		"faults"}
+		"faults", "metro"}
 }
 
 // parseFaults validates the -faults flag value into the scenario list to
@@ -215,6 +223,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "comma-separated experiment ids (fig1..fig15,predictors,table1,sensitivity,faults)")
 	faultsFlag := flag.String("faults", "", "fault scenario to run (tunnel-outage, highway-handover, city-loss, or 'all'); alone it runs only the fault scenarios")
+	metroFlag := flag.Bool("metro", false, "run the city-scale metro sweep (thousands of flows across sharded cell sectors); alone it runs only the metro sweep")
+	shardsFlag := flag.Int("shards", -1, "metro mesh shard count (0 = single-heap reference executor, -1 = harness default)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
@@ -258,6 +268,21 @@ func main() {
 		// "-only faults" (or a default full run) uses every canned scenario.
 		faultScenarios = faults.Names()
 	}
+	if *shardsFlag < -1 {
+		fmt.Fprintf(os.Stderr, "verus-bench: -shards must be >= -1 (got %d)\n", *shardsFlag)
+		os.Exit(2)
+	}
+	if *metroFlag {
+		// Like -faults: alone it narrows the run to the metro sweep, with
+		// -only it joins the selection.
+		if len(want) == 0 {
+			want = map[string]bool{}
+		}
+		want["metro"] = true
+	}
+	// The metro sweep is opt-in even on full runs — it is the one harness
+	// whose default scale is an order of magnitude beyond the rest.
+	metroSelected := want["metro"]
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -284,10 +309,19 @@ func main() {
 		fig7Dur = 60 * time.Second
 		sensDur = 20 * time.Second
 	}
+	metroOpts := experiments.DefaultMetroOptions()
+	if *quick {
+		metroOpts = experiments.QuickMetroOptions()
+	}
+	if *shardsFlag >= 0 {
+		metroOpts.Shards = *shardsFlag
+	}
 	macro.Seed = *seed
 	micro.Seed = *seed
+	metroOpts.Seed = *seed
 	macro.Parallel = *parallel
 	micro.Parallel = *parallel
+	metroOpts.Parallel = *parallel
 
 	// One observer serves the whole run: trials label their series by
 	// derived seed and flow, so even a full parallel sweep shares it safely.
@@ -305,6 +339,7 @@ func main() {
 	}
 	macro.Obs = observer
 	micro.Obs = observer
+	metroOpts.Obs = observer
 
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
@@ -364,6 +399,15 @@ func main() {
 		}
 		return b.String()
 	})
+	if metroSelected {
+		run("metro", "city-scale sharded multi-cell sweep", func() string {
+			res, err := experiments.Metro(metroOpts)
+			if err != nil {
+				fatalf("metro: %v", err)
+			}
+			return res.Render()
+		})
+	}
 
 	if err := writeObsOutputs(obsFiles, tracer, registry); err != nil {
 		fatalf("%v", err)

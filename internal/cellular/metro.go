@@ -1,0 +1,230 @@
+package cellular
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Metro topology builder: N sectors × M users for the city-scale experiments
+// the ROADMAP north-star calls for. A Metro is pure data — which sector each
+// user calls home, which §5.3 scenario drives their channel and mobility,
+// and a deterministic inter-cell handover schedule derived from that
+// scenario's HandoverEvery/HandoverStall. The experiments harness maps each
+// sector onto one cell of a netsim.Mesh (NeighborDelay becomes the mesh
+// lookahead) and replays the handover schedules as user re-homing plus
+// delivery stalls.
+
+// DefaultNeighborDelay is the inter-sector propagation delay assumed when a
+// MetroConfig leaves NeighborDelay zero — the order of an LTE X2 backhaul
+// hop between neighboring eNodeBs.
+const DefaultNeighborDelay = 3 * time.Millisecond
+
+// Handover is one scheduled inter-cell handover for a user: at At the user
+// re-homes to sector To, and deliveries freeze for Stall while the target
+// cell takes over (the stall-then-burst signature PR 4's fault layer models
+// on a single link).
+type Handover struct {
+	At    time.Duration
+	To    int
+	Stall time.Duration
+}
+
+// MetroUser is one subscriber: a home sector, the mobility scenario shaping
+// both their channel and their handover cadence, and the precomputed
+// handover schedule.
+type MetroUser struct {
+	ID       int
+	Home     int
+	Scenario Scenario
+	// Handovers is sorted by At; empty for stationary scenarios.
+	Handovers []Handover
+}
+
+// SectorAt returns the sector serving the user at time t under the
+// handover schedule.
+func (u *MetroUser) SectorAt(t time.Duration) int {
+	s := u.Home
+	for _, h := range u.Handovers {
+		if h.At > t {
+			break
+		}
+		s = h.To
+	}
+	return s
+}
+
+// MetroSector is one cell site: its channel model configuration, seeded so
+// every sector fades independently but reproducibly.
+type MetroSector struct {
+	ID      int
+	Channel Config
+}
+
+// Metro is a generated multi-cell topology.
+type Metro struct {
+	Sectors []MetroSector
+	Users   []MetroUser
+	// NeighborDelay is the inter-sector propagation delay — the conservative
+	// lookahead of the mesh the topology is simulated on.
+	NeighborDelay time.Duration
+}
+
+// MetroConfig parameterizes NewMetro.
+type MetroConfig struct {
+	// Sectors is the number of cell sites (N); Users the number of
+	// subscribers (M) spread round-robin across them.
+	Sectors, Users int
+	Tech           Tech
+	Operator       Operator
+	// MeanMbps overrides each sector's default aggregate mean rate when
+	// positive.
+	MeanMbps float64
+	// NeighborDelay is the inter-sector propagation delay; zero selects
+	// DefaultNeighborDelay. It must be positive after defaulting: a
+	// zero-delay inter-cell link cannot be conservatively synchronized.
+	NeighborDelay time.Duration
+	// Horizon bounds the generated handover schedules (default 60 s).
+	Horizon time.Duration
+	// HandoverScale multiplies the scenarios' handover spacing; zero means
+	// 1.0 (natural cadence) and values in (0, 1) compress it so short trials
+	// still exercise inter-cell mobility. Stall durations are unaffected.
+	HandoverScale float64
+	// Seed makes the whole topology — scenario assignment, channel seeds,
+	// handover times — a pure function of the configuration.
+	Seed int64
+}
+
+// NewMetro generates a topology. All randomness is drawn from cfg.Seed in a
+// fixed order, so equal configs yield deeply equal topologies.
+func NewMetro(cfg MetroConfig) (*Metro, error) {
+	if cfg.Sectors <= 0 {
+		return nil, fmt.Errorf("cellular: metro needs at least one sector, got %d", cfg.Sectors)
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("cellular: metro needs at least one user, got %d", cfg.Users)
+	}
+	if cfg.NeighborDelay == 0 {
+		cfg.NeighborDelay = DefaultNeighborDelay
+	}
+	if cfg.NeighborDelay < 0 {
+		return nil, fmt.Errorf("cellular: negative neighbor delay %v", cfg.NeighborDelay)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 60 * time.Second
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("cellular: negative horizon %v", cfg.Horizon)
+	}
+	if cfg.HandoverScale == 0 {
+		cfg.HandoverScale = 1
+	}
+	if cfg.HandoverScale < 0 {
+		return nil, fmt.Errorf("cellular: negative handover scale %g", cfg.HandoverScale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Metro{NeighborDelay: cfg.NeighborDelay}
+	for s := 0; s < cfg.Sectors; s++ {
+		m.Sectors = append(m.Sectors, MetroSector{
+			ID: s,
+			Channel: Config{
+				Tech:     cfg.Tech,
+				Operator: cfg.Operator,
+				MeanMbps: cfg.MeanMbps,
+				Seed:     rng.Int63(),
+			},
+		})
+	}
+	scs := Scenarios()
+	for u := 0; u < cfg.Users; u++ {
+		user := MetroUser{
+			ID:       u,
+			Home:     u % cfg.Sectors,
+			Scenario: scs[rng.Intn(len(scs))],
+		}
+		user.Handovers = handoverSchedule(rng, user.Scenario, user.Home, cfg.Sectors, cfg.Horizon, cfg.HandoverScale)
+		m.Users = append(m.Users, user)
+	}
+	return m, nil
+}
+
+// handoverSchedule rolls a user's handover train out to the horizon: events
+// spaced around the scenario's HandoverEvery (±50% jitter), each moving to a
+// uniformly chosen different sector with a stall jittered ±30% around
+// HandoverStall. Stationary scenarios (HandoverEvery == 0) never hand over;
+// single-sector metros have nowhere to go.
+func handoverSchedule(rng *rand.Rand, sc Scenario, home, sectors int, horizon time.Duration, scale float64) []Handover {
+	if sc.HandoverEvery <= 0 || sectors < 2 {
+		return nil
+	}
+	every := time.Duration(float64(sc.HandoverEvery) * scale)
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	var hs []Handover
+	cur := home
+	at := time.Duration(0)
+	for {
+		at += every/2 + time.Duration(rng.Int63n(int64(every)))
+		if at > horizon {
+			break
+		}
+		to := rng.Intn(sectors - 1)
+		if to >= cur {
+			to++ // uniform over sectors != cur
+		}
+		stall := sc.HandoverStall * time.Duration(70+rng.Intn(61)) / 100
+		hs = append(hs, Handover{At: at, To: to, Stall: stall})
+		cur = to
+	}
+	return hs
+}
+
+// UsersBySector groups user indices by home sector, in user order — the
+// iteration shape the harness builds per-cell flows from.
+func (m *Metro) UsersBySector() [][]int {
+	by := make([][]int, len(m.Sectors))
+	for i, u := range m.Users {
+		by[u.Home] = append(by[u.Home], i)
+	}
+	return by
+}
+
+// Validate checks the invariants consumers rely on; NewMetro output always
+// passes, and hand-built topologies can self-check before simulation.
+func (m *Metro) Validate() error {
+	if len(m.Sectors) == 0 {
+		return fmt.Errorf("cellular: metro has no sectors")
+	}
+	if m.NeighborDelay <= 0 {
+		return fmt.Errorf("cellular: metro neighbor delay %v must be positive (zero-delay inter-cell links cannot be synchronized)", m.NeighborDelay)
+	}
+	for i, s := range m.Sectors {
+		if s.ID != i {
+			return fmt.Errorf("cellular: sector %d has ID %d", i, s.ID)
+		}
+	}
+	for _, u := range m.Users {
+		if u.Home < 0 || u.Home >= len(m.Sectors) {
+			return fmt.Errorf("cellular: user %d homed on unknown sector %d", u.ID, u.Home)
+		}
+		if !sort.SliceIsSorted(u.Handovers, func(a, b int) bool { return u.Handovers[a].At < u.Handovers[b].At }) {
+			return fmt.Errorf("cellular: user %d handover schedule not sorted", u.ID)
+		}
+		cur := u.Home
+		for i, h := range u.Handovers {
+			if h.To < 0 || h.To >= len(m.Sectors) {
+				return fmt.Errorf("cellular: user %d handover %d targets unknown sector %d", u.ID, i, h.To)
+			}
+			if h.To == cur {
+				return fmt.Errorf("cellular: user %d handover %d is a self-handover to sector %d", u.ID, i, h.To)
+			}
+			if h.Stall <= 0 {
+				return fmt.Errorf("cellular: user %d handover %d has non-positive stall %v", u.ID, i, h.Stall)
+			}
+			cur = h.To
+		}
+	}
+	return nil
+}

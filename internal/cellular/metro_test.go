@@ -1,0 +1,176 @@
+package cellular
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNewMetroDeterministic(t *testing.T) {
+	cfg := MetroConfig{Sectors: 6, Users: 120, Tech: TechLTE, Seed: 7, Horizon: 5 * time.Minute}
+	a, err := NewMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs produced different topologies")
+	}
+	c, err := NewMetro(MetroConfig{Sectors: 6, Users: 120, Tech: TechLTE, Seed: 8, Horizon: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+func TestNewMetroShape(t *testing.T) {
+	m, err := NewMetro(MetroConfig{Sectors: 4, Users: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("generated topology fails validation: %v", err)
+	}
+	if len(m.Sectors) != 4 || len(m.Users) != 50 {
+		t.Fatalf("got %d sectors / %d users, want 4 / 50", len(m.Sectors), len(m.Users))
+	}
+	if m.NeighborDelay != DefaultNeighborDelay {
+		t.Errorf("neighbor delay %v, want default %v", m.NeighborDelay, DefaultNeighborDelay)
+	}
+	for i, u := range m.Users {
+		if u.Home != i%4 {
+			t.Fatalf("user %d homed on %d, want round-robin %d", i, u.Home, i%4)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range m.Sectors {
+		if seen[s.Channel.Seed] {
+			t.Errorf("sector %d reuses channel seed %d", s.ID, s.Channel.Seed)
+		}
+		seen[s.Channel.Seed] = true
+	}
+	by := m.UsersBySector()
+	total := 0
+	for s, users := range by {
+		total += len(users)
+		for _, ui := range users {
+			if m.Users[ui].Home != s {
+				t.Errorf("UsersBySector put user %d (home %d) in sector %d", ui, m.Users[ui].Home, s)
+			}
+		}
+	}
+	if total != 50 {
+		t.Errorf("UsersBySector covers %d users, want 50", total)
+	}
+}
+
+func TestNewMetroScenarioMix(t *testing.T) {
+	m, err := NewMetro(MetroConfig{Sectors: 3, Users: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, u := range m.Users {
+		counts[u.Scenario.Name]++
+	}
+	if len(counts) != len(Scenarios()) {
+		t.Fatalf("500 users drew only %d of the %d scenarios: %v", len(counts), len(Scenarios()), counts)
+	}
+}
+
+func TestHandoverSchedules(t *testing.T) {
+	horizon := 3 * time.Minute
+	m, err := NewMetro(MetroConfig{Sectors: 5, Users: 300, Seed: 4, Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile, stationary := 0, 0
+	for _, u := range m.Users {
+		if u.Scenario.HandoverEvery == 0 {
+			stationary++
+			if len(u.Handovers) != 0 {
+				t.Errorf("stationary user %d (%s) has %d handovers", u.ID, u.Scenario.Name, len(u.Handovers))
+			}
+			continue
+		}
+		mobile++
+		cur := u.Home
+		prev := time.Duration(0)
+		for i, h := range u.Handovers {
+			if h.At <= prev || h.At > horizon {
+				t.Errorf("user %d handover %d at %v outside (%v, %v]", u.ID, i, h.At, prev, horizon)
+			}
+			if h.To == cur || h.To < 0 || h.To >= 5 {
+				t.Errorf("user %d handover %d: %d → %d invalid", u.ID, i, cur, h.To)
+			}
+			lo, hi := u.Scenario.HandoverStall*70/100, u.Scenario.HandoverStall*130/100
+			if h.Stall < lo || h.Stall > hi {
+				t.Errorf("user %d handover %d stall %v outside [%v, %v]", u.ID, i, h.Stall, lo, hi)
+			}
+			cur, prev = h.To, h.At
+		}
+		// SectorAt must walk the same schedule.
+		if got := u.SectorAt(horizon); got != cur {
+			t.Errorf("user %d SectorAt(horizon) = %d, want %d", u.ID, got, cur)
+		}
+		if got := u.SectorAt(0); got != u.Home {
+			t.Errorf("user %d SectorAt(0) = %d, want home %d", u.ID, got, u.Home)
+		}
+	}
+	if mobile == 0 || stationary == 0 {
+		t.Fatalf("degenerate draw: %d mobile, %d stationary users", mobile, stationary)
+	}
+}
+
+func TestNewMetroSingleSectorHasNoHandovers(t *testing.T) {
+	m, err := NewMetro(MetroConfig{Sectors: 1, Users: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range m.Users {
+		if len(u.Handovers) != 0 {
+			t.Fatalf("user %d has handovers in a single-sector metro", u.ID)
+		}
+	}
+}
+
+func TestNewMetroRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MetroConfig
+	}{
+		{"zero-sectors", MetroConfig{Sectors: 0, Users: 1}},
+		{"negative-sectors", MetroConfig{Sectors: -2, Users: 1}},
+		{"zero-users", MetroConfig{Sectors: 1, Users: 0}},
+		{"negative-delay", MetroConfig{Sectors: 1, Users: 1, NeighborDelay: -time.Millisecond}},
+		{"negative-horizon", MetroConfig{Sectors: 1, Users: 1, Horizon: -time.Second}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewMetro(c.cfg); err == nil {
+				t.Fatalf("config %+v accepted", c.cfg)
+			}
+		})
+	}
+}
+
+func TestMetroValidateCatchesCorruption(t *testing.T) {
+	m, err := NewMetro(MetroConfig{Sectors: 3, Users: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Users[0].Home = 99
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range home sector accepted")
+	}
+	m.Users[0].Home = 0
+	m.NeighborDelay = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero neighbor delay accepted")
+	}
+}

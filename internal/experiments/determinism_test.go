@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cellular"
 	"repro/internal/faults"
 	"repro/internal/obs"
 )
@@ -47,6 +48,22 @@ func goldenCases(o *obs.Observer) []struct {
 		}
 		return res.Render()
 	}
+	// The two metro cases pin the sharded multi-cell harness from both sides
+	// of its executor split: one runs every trial's mesh sharded across 4
+	// workers, the other on the single-heap reference. Their renders are
+	// digested independently, and TestMetroExecutorEquivalence additionally
+	// proves the executors agree byte-for-byte at equal settings.
+	metro := func(tech cellular.Tech, shards, parallel int) string {
+		res, err := Metro(MetroOptions{
+			Sectors: 4, FlowCounts: []int{32}, Duration: 4 * time.Second,
+			Shards: shards, Tech: tech, HandoverScale: 0.05,
+			Seed: 123, Parallel: parallel, Obs: o,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Render()
+	}
 	return []struct {
 		name   string
 		render func(parallel int) string
@@ -67,6 +84,8 @@ func goldenCases(o *obs.Observer) []struct {
 		{"FaultTunnelOutage", func(p int) string { return fault(faults.ScenarioTunnelOutage, p) }},
 		{"FaultHighwayHandover", func(p int) string { return fault(faults.ScenarioHighwayHandover, p) }},
 		{"FaultCityLoss", func(p int) string { return fault(faults.ScenarioCityLoss, p) }},
+		{"MetroLTE-sharded4", func(p int) string { return metro(cellular.TechLTE, 4, p) }},
+		{"Metro3G-singleheap", func(p int) string { return metro(cellular.Tech3G, 0, p) }},
 	}
 }
 

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/experiments/runner"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// The Metro harness is the ISSUE 6 city-scale experiment: N cell sectors on
+// a sharded netsim.Mesh, M concurrent flows spread across them, swept over
+// flow counts in the thousands for each contender protocol. Each sector is
+// an independent trace-driven cell (its own cellular fading, queue, and
+// TraceLink); users hand over between sectors on the schedules their §5.3
+// mobility scenario generates, and a handed-over user's traffic detours over
+// the inter-sector mesh (two backhaul hops) until it returns home. The
+// rendered figures are per-cell Jain fairness and the aggregate one-way
+// delay CDF — the at-scale CC evaluation matrix ZEUS argues for.
+//
+// Determinism is executor-independent twice over: trials run through
+// runner.Map (serial ≡ parallel-N), and each trial's mesh renders
+// byte-identically whether it executes on the single-heap reference or
+// sharded across any worker count (the netsim equivalence contract).
+
+// MetroOptions scales the metro sweep.
+type MetroOptions struct {
+	// Sectors is the cell count (mesh cells). Default 8.
+	Sectors int
+	// FlowCounts are the sweep points: total concurrent flows spread
+	// round-robin across sectors. Default {1000, 4000, 10000}.
+	FlowCounts []int
+	// Duration per trial.
+	Duration time.Duration
+	// Shards selects the mesh executor inside each trial: 0 runs the
+	// single-heap reference, k > 0 runs the conservative sharded executor
+	// with k workers. Rendered output is byte-identical at every setting.
+	Shards int
+	// Tech picks the radio profile for every sector.
+	Tech cellular.Tech
+	// HandoverScale compresses the scenarios' handover cadence (see
+	// cellular.MetroConfig); zero keeps the natural spacing.
+	HandoverScale float64
+	Seed          int64
+	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+	// Obs, when non-nil, instruments every sector link and the mesh itself.
+	Obs *obs.Observer
+}
+
+// pool returns the trial executor for these options.
+func (o MetroOptions) pool() *runner.Pool { return runner.New(o.Parallel) }
+
+// DefaultMetroOptions is the full city-scale sweep (minutes of wall time).
+func DefaultMetroOptions() MetroOptions {
+	return MetroOptions{
+		Sectors:    8,
+		FlowCounts: []int{1000, 4000, 10000},
+		Duration:   30 * time.Second,
+		Shards:     8,
+		Tech:       cellular.TechLTE,
+		Seed:       42,
+	}
+}
+
+// QuickMetroOptions is the reduced scale used by tests and -quick runs.
+func QuickMetroOptions() MetroOptions {
+	return MetroOptions{
+		Sectors:    4,
+		FlowCounts: []int{64},
+		Duration:   6 * time.Second,
+		Shards:     4,
+		Tech:       cellular.TechLTE,
+		// Natural handover cadence is 12-90 s; compress it so 6 s trials
+		// still see inter-cell mobility and cross-shard detours.
+		HandoverScale: 0.05,
+		Seed:          42,
+	}
+}
+
+// metroProtocols are the at-scale contenders.
+func metroProtocols() []Maker {
+	return []Maker{VerusMaker(6), CubicMaker(), SproutMaker()}
+}
+
+// metroSectorMbps is the per-sector aggregate capacity, matching the Fig. 8
+// cell provisioning.
+func metroSectorMbps(tech cellular.Tech) float64 {
+	if tech == cellular.TechLTE {
+		return 40
+	}
+	return 16
+}
+
+// metroUserState is the home-cell routing state for one user. Every field is
+// read and written only from the user's home-cell timeline, so sharded
+// execution needs no synchronization.
+type metroUserState struct {
+	home       int
+	cur        int
+	stallUntil time.Duration
+	sink       netsim.Receiver
+}
+
+// MetroPoint is one (flow count, protocol) cell of the sweep.
+type MetroPoint struct {
+	Protocol string
+	Flows    int
+	// AggMbps is total delivered throughput across every flow.
+	AggMbps float64
+	// CellJain[s] is Jain's index over the mean rates of the flows homed in
+	// sector s.
+	CellJain []float64
+	// DelayQuantiles are the aggregate one-way delay CDF points (seconds)
+	// at metroCDFQuantiles.
+	DelayQuantiles []float64
+	// Handovers counts executed inter-cell handovers; CrossMsgs counts mesh
+	// messages (detour hops) the trial generated.
+	Handovers int64
+	CrossMsgs uint64
+}
+
+// metroCDFQuantiles are the percentiles the delay-CDF figure reports.
+var metroCDFQuantiles = []float64{5, 25, 50, 75, 90, 95, 99}
+
+// MetroResult is the rendered sweep.
+type MetroResult struct {
+	Sectors  int
+	Duration time.Duration
+	Tech     cellular.Tech
+	Points   []MetroPoint
+}
+
+// Metro runs the sweep: one trial per (flow count, protocol) on the options'
+// worker pool.
+func Metro(opts MetroOptions) (MetroResult, error) {
+	if opts.Sectors <= 0 {
+		opts.Sectors = 8
+	}
+	if len(opts.FlowCounts) == 0 {
+		opts.FlowCounts = []int{1000, 4000, 10000}
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 30 * time.Second
+	}
+	for _, n := range opts.FlowCounts {
+		if n <= 0 {
+			return MetroResult{}, fmt.Errorf("experiments: metro flow count %d must be positive", n)
+		}
+	}
+	out := MetroResult{Sectors: opts.Sectors, Duration: opts.Duration, Tech: opts.Tech}
+	protos := metroProtocols()
+	var jobs []runner.Job[MetroPoint]
+	for fi, flows := range opts.FlowCounts {
+		for pi, mk := range protos {
+			flows, mk := flows, mk
+			jobs = append(jobs, runner.Job[MetroPoint]{
+				Key: int64(100*fi + pi),
+				Run: func(seed int64) MetroPoint {
+					return metroTrial(opts, mk, flows, seed)
+				},
+			})
+		}
+	}
+	points := runner.Map(opts.pool(), opts.Seed, jobs)
+	out.Points = append(out.Points, points...)
+	return out, nil
+}
+
+// metroTrial builds and runs one full metro simulation: the cellular
+// topology, the mesh, per-sector bottlenecks, per-user flows and handover
+// routing — then collects the point.
+func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
+	topo, err := cellular.NewMetro(cellular.MetroConfig{
+		Sectors:  opts.Sectors,
+		Users:    flows,
+		Tech:     opts.Tech,
+		Operator:      cellular.OperatorB,
+		MeanMbps:      metroSectorMbps(opts.Tech),
+		Horizon:       opts.Duration,
+		HandoverScale: opts.HandoverScale,
+		Seed:          seed,
+	})
+	if err != nil {
+		panic(err) // options were validated; a failure here is a harness bug
+	}
+	mesh := netsim.NewMesh(opts.Sectors, topo.NeighborDelay)
+	mesh.Instrument(opts.Obs, seed)
+
+	states := make([]*metroUserState, flows)
+	metrics := make([]*netsim.FlowMetrics, flows)
+	// Handover counts are kept per home cell — each slot is written only from
+	// that cell's timeline, so sharded execution stays race-free — and summed
+	// after the run.
+	handoversByCell := make([]int64, opts.Sectors)
+	links := make([]*netsim.TraceLink, opts.Sectors)
+	for s := 0; s < opts.Sectors; s++ {
+		s := s
+		sim := mesh.Cell(s)
+		// deliverHome hands a packet to its flow's sink on the home timeline,
+		// honoring any active handover stall by deferring to the release
+		// instant (the stall-then-burst delivery signature).
+		deliverHome := func(p *netsim.Packet) {
+			st := states[p.Flow]
+			if now := sim.Now(); now < st.stallUntil {
+				pkt := p
+				sim.After(st.stallUntil-now, func() { st.sink.Receive(pkt) })
+				return
+			}
+			st.sink.Receive(p)
+		}
+		recv := netsim.ReceiverFunc(func(p *netsim.Packet) {
+			st := states[p.Flow]
+			if st.cur == s {
+				deliverHome(p)
+				return
+			}
+			// Handed-over user: the packet detours via the serving sector —
+			// one backhaul hop out, one back — before the home-cell sink
+			// acknowledges it. Both hops ride the mesh's lookahead channels,
+			// which is what makes handovers cross-shard traffic.
+			cur := st.cur
+			pkt := p
+			mesh.Send(s, cur, topo.NeighborDelay, func() {
+				mesh.Send(cur, s, topo.NeighborDelay, func() { deliverHome(pkt) })
+			})
+		})
+		model := cellular.NewModel(topo.Sectors[s].Channel)
+		tr := model.Trace(opts.Duration)
+		links[s] = netsim.NewTraceLink(sim, netsim.NewDropTail(bloatBytes), tr,
+			10*time.Millisecond, recv, true, topo.Sectors[s].Channel.Seed+1)
+		links[s].Instrument(opts.Obs, seed)
+	}
+	for _, users := range topo.UsersBySector() {
+		for _, ui := range users {
+			u := topo.Users[ui]
+			sim := mesh.Cell(u.Home)
+			st := &metroUserState{home: u.Home, cur: u.Home}
+			states[u.ID] = st
+			ctrl := mk.New()
+			observe(opts.Obs, ctrl, seed, u.ID)
+			// Stagger starts so thousands of flows do not slow-start in
+			// lockstep; the phase is a pure function of the user id.
+			start := time.Duration(u.ID%64) * 25 * time.Millisecond
+			src, fm := netsim.NewSource(sim, u.ID, ctrl, links[u.Home], MTU,
+				10*time.Millisecond, start, 0)
+			st.sink = src.Sink()
+			metrics[u.ID] = fm
+			for _, h := range u.Handovers {
+				h := h
+				home := u.Home
+				sim.Schedule(h.At, func() {
+					st.cur = h.To
+					st.stallUntil = h.At + h.Stall
+					handoversByCell[home]++
+				})
+			}
+		}
+	}
+
+	if opts.Shards > 0 {
+		mesh.RunSharded(opts.Duration, opts.Shards)
+	} else {
+		mesh.RunSingle(opts.Duration)
+	}
+
+	var handovers int64
+	for _, n := range handoversByCell {
+		handovers += n
+	}
+	pt := MetroPoint{Protocol: mk.Name, Flows: flows, Handovers: handovers, CrossMsgs: mesh.CrossDelivered()}
+	delay := stats.NewSummary(4096)
+	perCell := make([][]float64, opts.Sectors)
+	for _, u := range topo.Users {
+		fm := metrics[u.ID]
+		mbps := fm.MeanMbps(opts.Duration)
+		pt.AggMbps += mbps
+		perCell[u.Home] = append(perCell[u.Home], mbps)
+		delay.Merge(fm.Delay)
+	}
+	for s := 0; s < opts.Sectors; s++ {
+		pt.CellJain = append(pt.CellJain, stats.JainIndex(perCell[s]))
+	}
+	for _, q := range metroCDFQuantiles {
+		pt.DelayQuantiles = append(pt.DelayQuantiles, delay.Percentile(q))
+	}
+	return pt
+}
+
+// Render prints the sweep as three figures: the headline
+// throughput/fairness table, the per-cell Jain fairness rows, and the
+// aggregate one-way delay CDF. Shard and worker counts are deliberately
+// absent: the render must be byte-identical across executors.
+func (r MetroResult) Render() string {
+	s := fmt.Sprintf("Metro sweep: %d sectors (%s), %v per trial, handover-driven cross-cell detours\n",
+		r.Sectors, r.Tech, r.Duration)
+	var rows [][]string
+	for _, p := range r.Points {
+		minJ, meanJ := 1.0, 0.0
+		for _, j := range p.CellJain {
+			if j < minJ {
+				minJ = j
+			}
+			meanJ += j
+		}
+		if len(p.CellJain) > 0 {
+			meanJ /= float64(len(p.CellJain))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Flows),
+			p.Protocol,
+			fmt.Sprintf("%.1f", p.AggMbps),
+			fmt.Sprintf("%.3f", meanJ),
+			fmt.Sprintf("%.3f", minJ),
+			fmt.Sprintf("%d", p.Handovers),
+			fmt.Sprintf("%d", p.CrossMsgs),
+		})
+	}
+	s += table([]string{"flows", "protocol", "agg tput (Mbps)", "Jain mean", "Jain min", "handovers", "cross msgs"}, rows)
+
+	s += "\nPer-cell Jain fairness\n"
+	header := []string{"flows", "protocol"}
+	for c := 0; c < r.Sectors; c++ {
+		header = append(header, fmt.Sprintf("cell %d", c))
+	}
+	rows = nil
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%d", p.Flows), p.Protocol}
+		for _, j := range p.CellJain {
+			row = append(row, fmt.Sprintf("%.3f", j))
+		}
+		rows = append(rows, row)
+	}
+	s += table(header, rows)
+
+	s += "\nAggregate one-way delay CDF (ms)\n"
+	header = []string{"flows", "protocol"}
+	for _, q := range metroCDFQuantiles {
+		header = append(header, fmt.Sprintf("p%.0f", q))
+	}
+	rows = nil
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%d", p.Flows), p.Protocol}
+		for _, d := range p.DelayQuantiles {
+			row = append(row, fmt.Sprintf("%.1f", d*1000))
+		}
+		rows = append(rows, row)
+	}
+	s += table(header, rows)
+	return s
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+)
+
+// metroTestOptions is a scaled-down sweep that still exercises every moving
+// part: multiple sectors, mobile users handing over mid-run, cross-shard
+// detour traffic, and all three protocols.
+func metroTestOptions(shards int) MetroOptions {
+	return MetroOptions{
+		Sectors:       4,
+		FlowCounts:    []int{24},
+		Duration:      2 * time.Second,
+		Shards:        shards,
+		Tech:          cellular.TechLTE,
+		HandoverScale: 0.02,
+		Seed:          7,
+		Parallel:      2,
+	}
+}
+
+// TestMetroExecutorEquivalence is the ISSUE acceptance gate in miniature: the
+// rendered metro figures must be byte-identical whether each trial's mesh
+// runs on the single-heap reference executor (Shards: 0) or sharded across
+// any worker count.
+func TestMetroExecutorEquivalence(t *testing.T) {
+	ref, err := Metro(metroTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Render()
+	if len(want) < 100 || !strings.Contains(want, "Verus") {
+		t.Fatalf("implausible render:\n%s", want)
+	}
+	for _, p := range ref.Points {
+		if p.Handovers == 0 || p.CrossMsgs == 0 {
+			t.Errorf("%s point saw %d handovers / %d cross messages; the trial never exercised the mesh",
+				p.Protocol, p.Handovers, p.CrossMsgs)
+		}
+		if p.AggMbps <= 0 {
+			t.Errorf("%s delivered nothing", p.Protocol)
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		got, err := Metro(metroTestOptions(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.Render(); g != want {
+			t.Errorf("sharded-%d render diverges from single-heap reference:\n--- single\n%s\n--- sharded-%d\n%s",
+				shards, want, shards, g)
+		}
+	}
+}
+
+// TestMetroShardStress is the CI metro-smoke workload: a larger topology run
+// sharded at 4 and at 8 so the race detector (CI runs this test under -race)
+// sweeps the worker handoff paths under real contention, and serial trial
+// scheduling (Parallel: 1) must match the default pool.
+func TestMetroShardStress(t *testing.T) {
+	opts := MetroOptions{
+		Sectors:       8,
+		FlowCounts:    []int{48},
+		Duration:      2 * time.Second,
+		Shards:        4,
+		Tech:          cellular.Tech3G,
+		HandoverScale: 0.02,
+		Seed:          11,
+	}
+	ref, err := Metro(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 8
+	opts.Parallel = 1
+	got, err := Metro(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Render() != got.Render() {
+		t.Error("sharded-4/pooled and sharded-8/serial renders diverge")
+	}
+}
+
+func TestMetroRejectsBadFlowCounts(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if _, err := Metro(MetroOptions{FlowCounts: []int{n}}); err == nil {
+			t.Errorf("flow count %d accepted", n)
+		}
+	}
+}
+
+// TestQuickMetroOptionsShape pins the reduced profile the -quick CLI path
+// uses so an accidental scale-up does not silently make smoke runs minutes
+// long.
+func TestQuickMetroOptionsShape(t *testing.T) {
+	q := QuickMetroOptions()
+	if q.Sectors != 4 || len(q.FlowCounts) != 1 || q.FlowCounts[0] != 64 || q.Duration != 6*time.Second {
+		t.Errorf("quick profile drifted: %+v", q)
+	}
+	d := DefaultMetroOptions()
+	if d.Sectors != 8 || len(d.FlowCounts) != 3 {
+		t.Errorf("default profile drifted: %+v", d)
+	}
+}

@@ -225,6 +225,144 @@ func TestConservationUpstreamFaults(t *testing.T) {
 	}
 }
 
+// shardLedger is the per-cell accounting for the cross-shard conservation
+// runs: forwards[i] counts packets cell i handed into a lookahead channel,
+// arrivals[i] counts channel packets that have reached cell i's timeline and
+// been re-offered to its link. Each cell's entries are written only from that
+// cell's timeline, so the ledger is race-free under sharded execution.
+type shardLedger struct {
+	forwards []int64
+	arrivals []int64
+}
+
+// buildConservationMesh wires cells cells each with a FixedLink fed by CBR
+// flows; every delivered packet with Seq%3 == 0 still in its origin cell is
+// forwarded over the mesh into the next cell's link (one hop max, so traffic
+// always drains). Returns per-cell links, queues, metrics, and the ledger.
+func buildConservationMesh(rng *rand.Rand, m *Mesh, stop time.Duration) (
+	links []*FixedLink, queues []Queue, metrics []*FlowMetrics, led *shardLedger) {
+	n := m.Cells()
+	led = &shardLedger{forwards: make([]int64, n), arrivals: make([]int64, n)}
+	links = make([]*FixedLink, n)
+	queues = make([]Queue, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sim := m.Cell(i)
+		queues[i] = randomQueue(rng)
+		rate := 2 + rng.Float64()*20
+		loss := 0.0
+		if rng.Intn(3) == 0 {
+			loss = rng.Float64() * 0.04
+		}
+		recv := ReceiverFunc(func(p *Packet) {
+			if n > 1 && p.Flow/100 == i && p.Seq%3 == 0 {
+				dst := (i + 1) % n
+				pkt := p
+				led.forwards[i]++
+				m.Send(i, dst, m.Lookahead()+2*time.Millisecond, func() {
+					led.arrivals[dst]++
+					links[dst].Send(pkt)
+				})
+			}
+		})
+		links[i] = NewFixedLink(sim, queues[i], rate, time.Duration(rng.Intn(20))*time.Millisecond, recv, rng.Int63())
+		if loss > 0 {
+			links[i].SetLossProb(loss)
+		}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			_, fm := NewCBR(sim, i*100+j, links[i], 300+rng.Intn(1100),
+				0.5+rng.Float64()*4, 0, stop, 0, 0)
+			metrics = append(metrics, fm)
+		}
+	}
+	return links, queues, metrics, led
+}
+
+// TestConservationAcrossShards extends the packet-conservation identity over
+// shard boundaries: every packet offered to any link — by a source or by a
+// cross-cell arrival — is dropped, lost, delivered, queued, or in service,
+// and packets inside lookahead channels at snapshot time (forwarded but not
+// yet arrived) balance the forward/arrival ledgers exactly. The identity
+// must hold mid-run and exactly at quiescence, on both executors, and the
+// totals must agree between them.
+func TestConservationAcrossShards(t *testing.T) {
+	type totals struct {
+		sent, arrived, drops, lost, delivered, forwards int64
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		byMode := map[string]totals{}
+		for _, mode := range []string{"single", "sharded"} {
+			rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+			cells := 2 + rng.Intn(5)
+			m := NewMesh(cells, time.Duration(1+rng.Intn(8))*time.Millisecond)
+			stop := 1500 * time.Millisecond
+			links, queues, metrics, led := buildConservationMesh(rng, m, stop)
+			shards := 1 + rng.Intn(cells)
+			run := func(until time.Duration) {
+				if mode == "single" {
+					m.RunSingle(until)
+				} else {
+					m.RunSharded(until, shards)
+				}
+			}
+			snapshot := func(label string, wantExact bool) totals {
+				var tt totals
+				for _, fm := range metrics {
+					tt.sent += fm.Sent
+				}
+				var queued int64
+				for i := range links {
+					tt.drops += queueDrops(queues[i])
+					tt.lost += links[i].Lost
+					tt.delivered += links[i].Delivered
+					queued += int64(queues[i].Len())
+					tt.forwards += led.forwards[i]
+					tt.arrived += led.arrivals[i]
+				}
+				// Offered = source sends + channel arrivals; every offer is
+				// accounted, with at most one packet in service per cell.
+				offered := tt.sent + tt.arrived
+				accounted := tt.drops + tt.lost + tt.delivered + queued
+				inService := offered - accounted
+				if wantExact {
+					if inService != 0 || queued != 0 {
+						t.Errorf("seed %d %s %s: not quiescent: inService=%d queued=%d",
+							seed, mode, label, inService, queued)
+					}
+					if tt.forwards != tt.arrived {
+						t.Errorf("seed %d %s %s: %d packets still in lookahead channels at quiescence",
+							seed, mode, label, tt.forwards-tt.arrived)
+					}
+				} else if inService < 0 || inService > int64(len(links)) {
+					t.Errorf("seed %d %s %s: conservation broken: offered=%d accounted=%d (inService=%d, want 0..%d)",
+						seed, mode, label, offered, accounted, inService, len(links))
+				}
+				// The lookahead-channel population can never go negative, and
+				// after a run every channel message has been merged into its
+				// destination heap (even if its arrival time is still ahead).
+				if inChannel := tt.forwards - tt.arrived; inChannel < 0 {
+					t.Errorf("seed %d %s %s: ledger inverted: arrivals %d > forwards %d",
+						seed, mode, label, tt.arrived, tt.forwards)
+				}
+				if got := m.PendingCross(); got != 0 {
+					t.Errorf("seed %d %s %s: %d messages left undrained between runs", seed, mode, label, got)
+				}
+				return tt
+			}
+			run(stop / 2)
+			snapshot("mid-run", false)
+			run(stop)
+			snapshot("at-stop", false)
+			run(stop + 15*time.Second)
+			byMode[mode] = snapshot("drained", true)
+		}
+		if byMode["single"] != byMode["sharded"] {
+			t.Errorf("seed %d: executor totals diverge: single=%+v sharded=%+v",
+				seed, byMode["single"], byMode["sharded"])
+		}
+	}
+}
+
 // TestDropTailDuplicateBytes pins the byte accounting when the same *Packet
 // is enqueued twice: Bytes() must count each copy, and both dequeues must
 // return the packet.

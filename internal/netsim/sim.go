@@ -16,10 +16,47 @@ import "time"
 // reuses one timer allocation for the lifetime of the timer instead of
 // growing a closure chain.
 type event struct {
-	at  time.Duration
-	seq uint64 // tiebreaker: FIFO among same-time events
+	at time.Duration
+	// seq is the same-time tiebreaker: FIFO among same-time events. In a
+	// standalone Sim it is a plain insertion counter. In a Mesh cell it is a
+	// composite order key — the owning cell's id in the high bits, the
+	// cell-local insertion counter in the low bits (see orderKey) — assigned
+	// at creation time by whichever cell created the event. Creation-time
+	// assignment is what makes the key independent of the executor: the
+	// merged single-heap run and the sharded run order every event by the
+	// exact same (at, seq) pair.
+	seq uint64
 	fn  func()
 	t   *timer // non-nil for recurring events; fn is nil then
+}
+
+// cellSeqBits is the width of the cell-local counter inside a composite
+// order key: 2^44 ≈ 1.7e13 events per cell before overflow, with the
+// remaining 20 high bits holding the cell id (up to ~1M cells). A standalone
+// Sim has id 0, so its keys are the bare counter — ordering is bit-for-bit
+// what it was before meshes existed.
+const cellSeqBits = 44
+
+// cellSeqMask masks the cell-local counter out of a composite order key.
+const cellSeqMask = (uint64(1) << cellSeqBits) - 1
+
+// orderKey composes a cell id and a cell-local insertion counter into one
+// uint64 that compares like the lexicographic pair (cell, seq). Panics on
+// overflow of either field rather than silently corrupting event order.
+func orderKey(cell uint32, seq uint64) uint64 {
+	if seq > cellSeqMask {
+		panic("netsim: cell event counter overflow")
+	}
+	if uint64(cell) > uint64(1)<<(64-cellSeqBits)-1 {
+		panic("netsim: cell id overflows order key")
+	}
+	return uint64(cell)<<cellSeqBits | seq
+}
+
+// orderKeyParts splits a composite order key back into (cell, seq) — the
+// inverse of orderKey, used by introspection and the fuzz harness.
+func orderKeyParts(key uint64) (cell uint32, seq uint64) {
+	return uint32(key >> cellSeqBits), key & cellSeqMask
 }
 
 // timer is the Sim-owned state of one Every registration.
@@ -49,6 +86,15 @@ type Sim struct {
 	now    time.Duration
 	events []event
 	seq    uint64
+	// id and mesh are set when this Sim is one cell of a Mesh (see mesh.go).
+	// A standalone Sim has id 0 and a nil mesh; every code path below then
+	// behaves exactly as it did before meshes existed.
+	id   uint32
+	mesh *Mesh
+	// outbox buffers cross-cell messages originated by this cell while the
+	// mesh is executing a sharded window; the coordinator drains it at the
+	// next barrier. Only the goroutine executing this cell appends to it.
+	outbox []crossMsg
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -106,14 +152,27 @@ func (s *Sim) pop() event {
 	return ev
 }
 
+// nextKey claims the next order key from this cell's insertion counter.
+func (s *Sim) nextKey() uint64 {
+	s.seq++
+	return orderKey(s.id, s.seq)
+}
+
+// pushKeyed inserts an externally-created event (a cross-cell arrival) whose
+// order key was already claimed by the sending cell. The key travels with
+// the message, so the insertion moment — immediate in the merged reference
+// executor, barrier-deferred in the sharded one — never affects ordering.
+func (s *Sim) pushKeyed(at time.Duration, key uint64, fn func()) {
+	s.push(event{at: at, seq: key, fn: fn})
+}
+
 // Schedule runs fn at the given absolute simulated time. Times in the past
 // are clamped to now (the event runs next).
 func (s *Sim) Schedule(at time.Duration, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
-	s.seq++
-	s.push(event{at: at, seq: s.seq, fn: fn})
+	s.push(event{at: at, seq: s.nextKey(), fn: fn})
 }
 
 // After runs fn d from now.
@@ -128,8 +187,7 @@ func (s *Sim) Every(interval time.Duration, fn func()) (stop func()) {
 		panic("netsim: Every interval must be positive")
 	}
 	t := &timer{interval: interval, fn: fn}
-	s.seq++
-	s.push(event{at: s.now + interval, seq: s.seq, t: t})
+	s.push(event{at: s.now + interval, seq: s.nextKey(), t: t})
 	return func() { t.stopped = true }
 }
 
@@ -142,24 +200,62 @@ func (s *Sim) Every(interval time.Duration, fn func()) (stop func()) {
 // unchanged.
 func (s *Sim) Run(until time.Duration) {
 	for len(s.events) > 0 && s.events[0].at <= until {
-		e := s.pop()
-		s.now = e.at
-		if e.t != nil {
-			t := e.t
-			if t.stopped {
-				continue
-			}
-			t.fn()
-			if !t.stopped {
-				s.seq++
-				s.push(event{at: s.now + t.interval, seq: s.seq, t: t})
-			}
-			continue
-		}
-		e.fn()
+		s.step()
 	}
 	if until > s.now {
 		s.now = until
+	}
+}
+
+// step pops and executes the earliest event, advancing the clock to it.
+// Recurring timers reschedule themselves with a fresh order key, exactly as
+// the inline loop in Run used to.
+func (s *Sim) step() {
+	e := s.pop()
+	s.now = e.at
+	if e.t != nil {
+		t := e.t
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			s.push(event{at: s.now + t.interval, seq: s.nextKey(), t: t})
+		}
+		return
+	}
+	e.fn()
+}
+
+// headBefore reports whether the earliest pending event falls strictly
+// before horizon (or at/below it when inclusive), i.e. whether this cell has
+// work inside the current conservative window.
+func (s *Sim) headBefore(horizon time.Duration, inclusive bool) bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	if inclusive {
+		return s.events[0].at <= horizon
+	}
+	return s.events[0].at < horizon
+}
+
+// headKey returns the (at, seq) key of the earliest pending event; callers
+// must have checked the heap is non-empty.
+func (s *Sim) headKey() (time.Duration, uint64) {
+	return s.events[0].at, s.events[0].seq
+}
+
+// runWindow executes every pending event strictly before horizon (or at/
+// below it when inclusive) and then advances the clock to the horizon — the
+// null-message advance: even an idle cell's clock reaches the window edge,
+// which is what tells its peers they may proceed past it.
+func (s *Sim) runWindow(horizon time.Duration, inclusive bool) {
+	for s.headBefore(horizon, inclusive) {
+		s.step()
+	}
+	if horizon > s.now {
+		s.now = horizon
 	}
 }
 

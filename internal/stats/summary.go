@@ -29,6 +29,19 @@ func (s *Summary) Add(v float64) {
 	s.sorted = false
 }
 
+// Merge folds every sample of o into s, leaving o untouched. The metro
+// harness uses it to build aggregate delay distributions across thousands of
+// per-flow summaries.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, o.samples...)
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+	s.sorted = false
+}
+
 // N returns the number of samples recorded.
 func (s *Summary) N() int { return len(s.samples) }
 
