@@ -17,12 +17,13 @@
 // and no -only, only the fault scenarios run.
 //
 // -metro runs the city-scale multi-cell sweep (internal/experiments.Metro):
-// N cell sectors on a sharded event mesh, swept over thousands of concurrent
-// Verus/Cubic/Sprout flows, rendering per-cell fairness and aggregate delay
-// CDFs. It is opt-in (also reachable as -only metro) because the full sweep
-// runs for minutes; -quick reduces it to one 64-flow point. -shards picks
-// the mesh executor (0 = single-heap reference); every setting renders
-// byte-identical output.
+// N cell sectors on a sharded event mesh, swept over {10k, 40k, 100k}
+// concurrent Verus/Cubic/Sprout flows, rendering per-cell fairness and
+// aggregate delay CDFs. It is opt-in (also reachable as -only metro) because
+// the full sweep runs for minutes; -quick reduces it to one 64-flow point.
+// -shards picks the mesh executor (0 = single-heap reference); -churn sets
+// the fraction of users that arrive and depart mid-run (default 0.3 at full
+// scale, 0 on -quick); every setting renders byte-identical output.
 //
 // -trace, -chrometrace, and -metrics attach the internal/obs observability
 // layer: -trace writes the virtual-time event stream as JSONL, -chrometrace
@@ -36,7 +37,7 @@
 // Usage:
 //
 //	verus-bench [-quick] [-only fig8,table1,...] [-faults name|all] [-seed N]
-//	            [-metro] [-shards N] [-parallel N] [-benchjson out.json]
+//	            [-metro] [-shards N] [-churn F] [-parallel N] [-benchjson out.json]
 //	            [-trace out.jsonl] [-chrometrace out.json] [-metrics out.prom]
 //	            [-tracecap N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -225,6 +226,7 @@ func main() {
 	faultsFlag := flag.String("faults", "", "fault scenario to run (tunnel-outage, highway-handover, city-loss, or 'all'); alone it runs only the fault scenarios")
 	metroFlag := flag.Bool("metro", false, "run the city-scale metro sweep (thousands of flows across sharded cell sectors); alone it runs only the metro sweep")
 	shardsFlag := flag.Int("shards", -1, "metro mesh shard count (0 = single-heap reference executor, -1 = harness default)")
+	churnFlag := flag.Float64("churn", -1, "metro user churn fraction in [0,1] (-1 = harness default; 0.3 on full runs, 0 on -quick)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
@@ -272,6 +274,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "verus-bench: -shards must be >= -1 (got %d)\n", *shardsFlag)
 		os.Exit(2)
 	}
+	if *churnFlag != -1 && (*churnFlag < 0 || *churnFlag > 1) {
+		fmt.Fprintf(os.Stderr, "verus-bench: -churn must be in [0,1] or -1 for the default (got %v)\n", *churnFlag)
+		os.Exit(2)
+	}
 	if *metroFlag {
 		// Like -faults: alone it narrows the run to the metro sweep, with
 		// -only it joins the selection.
@@ -315,6 +321,9 @@ func main() {
 	}
 	if *shardsFlag >= 0 {
 		metroOpts.Shards = *shardsFlag
+	}
+	if *churnFlag >= 0 {
+		metroOpts.ChurnFrac = *churnFlag
 	}
 	macro.Seed = *seed
 	micro.Seed = *seed

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis/nofaultsinprod"
 	"repro/internal/analysis/noglobalrand"
 	"repro/internal/analysis/nowalltime"
+	"repro/internal/analysis/poolrelease"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -19,5 +20,6 @@ func Analyzers() []*analysis.Analyzer {
 		nofaultsinprod.Analyzer,
 		noglobalrand.Analyzer,
 		nowalltime.Analyzer,
+		poolrelease.Analyzer,
 	}
 }

@@ -1,0 +1,73 @@
+// Package poolrelease enforces the packet pool's allocation discipline.
+//
+// Every netsim.Packet on a simulation hot path is recycled through a
+// per-Sim free list (DESIGN.md §13): code obtains packets with
+// Sim.NewPacket/ClonePacket and hands them back with Sim.FreePacket. A raw
+// `&Packet{...}` (or value `Packet{...}`) literal bypasses the pool — the
+// packet can never be recycled, the pool's leak accounting silently drifts,
+// and under -tags pooldebug the poison bookkeeping never sees it. This
+// analyzer flags every composite literal of netsim's Packet type inside a
+// simulation package.
+//
+// The one sanctioned literal is the pool's own backing allocation, which
+// carries:
+//
+//	//lint:poolrelease pool-internal -- <why this literal is the pool's own growth path>
+//
+// Test files are outside the analyzed set, as with every verus-lint pass:
+// tests may build bare packets to probe queues and invariants directly.
+package poolrelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolrelease pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "poolrelease",
+	Doc:    "forbid netsim.Packet composite literals in simulation packages outside the pool constructor (use Sim.NewPacket/ClonePacket)",
+	Claims: []string{"pool-internal"},
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok {
+				return true
+			}
+			if !isNetsimPacket(tv.Type) {
+				return true
+			}
+			pass.Reportf(cl.Pos(),
+				"netsim.Packet composite literal bypasses the packet pool; allocate with Sim.NewPacket (or ClonePacket) so the packet can be released and recycled")
+			return true
+		})
+	}
+	return nil
+}
+
+// isNetsimPacket reports whether t is the pooled Packet type: a named type
+// called Packet defined in a netsim package.
+func isNetsimPacket(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Packet" && analysis.IsNetsimPackage(obj.Pkg().Path())
+}

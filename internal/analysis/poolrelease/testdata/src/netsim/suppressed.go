@@ -1,0 +1,13 @@
+package netsim
+
+// get is the pool's own growth path: the one sanctioned bare literal,
+// suppressed with the pool-internal claim.
+func (s *Sim) get() *Packet {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		return p
+	}
+	//lint:poolrelease pool-internal -- the free list's backing allocation; every consumer goes through NewPacket
+	return &Packet{}
+}

@@ -1,0 +1,15 @@
+// Package sprout is a poolrelease fixture: a simulation package whose own
+// Packet type has nothing to do with the pooled netsim.Packet, so its
+// literals must not be flagged.
+package sprout
+
+// Packet is a protocol-local frame type, not the simulator's pooled packet.
+type Packet struct {
+	Tick int
+	Len  int
+}
+
+// Frame builds one — fine: only netsim's Packet is pooled.
+func Frame(tick, n int) *Packet {
+	return &Packet{Tick: tick, Len: n}
+}

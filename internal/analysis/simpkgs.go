@@ -29,9 +29,18 @@ var runnerPkgRe = regexp.MustCompile(`(^|/)experiments/runner(/|$)`)
 // harnessPkgRe matches the experiment harness layer itself.
 var harnessPkgRe = regexp.MustCompile(`(^|/)experiments(/|$)`)
 
+// netsimPkgRe matches the simulator core package, whose Packet type is
+// pooled (DESIGN.md §13): poolrelease scopes its literal check to types
+// defined there.
+var netsimPkgRe = regexp.MustCompile(`(^|/)netsim(/|$)`)
+
 // IsSimPackage reports whether the import path is under the simulation
 // determinism contract.
 func IsSimPackage(path string) bool { return simPkgRe.MatchString(path) }
+
+// IsNetsimPackage reports whether the import path is the simulator core,
+// the home of the pooled Packet type.
+func IsNetsimPackage(path string) bool { return netsimPkgRe.MatchString(path) }
 
 // UsesVirtualTime reports whether the package must route all clock access
 // through virtual time (simulation packages plus the transport layer).

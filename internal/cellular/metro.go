@@ -40,6 +40,11 @@ type MetroUser struct {
 	Scenario Scenario
 	// Handovers is sorted by At; empty for stationary scenarios.
 	Handovers []Handover
+	// Start and Stop bound the user's session when churn is enabled
+	// (MetroConfig.ChurnFrac): the flow arrives at Start and departs at Stop.
+	// Zero values mean the session covers the whole trial — Start 0 is
+	// present from the beginning, Stop 0 never departs.
+	Start, Stop time.Duration
 }
 
 // SectorAt returns the sector serving the user at time t under the
@@ -91,6 +96,12 @@ type MetroConfig struct {
 	// 1.0 (natural cadence) and values in (0, 1) compress it so short trials
 	// still exercise inter-cell mobility. Stall durations are unaffected.
 	HandoverScale float64
+	// ChurnFrac is the fraction of users that churn: instead of being
+	// present for the whole trial they arrive mid-run and/or depart early
+	// (session windows drawn by churnWindow). Zero — the default — draws no
+	// churn randomness at all, so topologies generated before churn existed
+	// are bit-for-bit unchanged.
+	ChurnFrac float64
 	// Seed makes the whole topology — scenario assignment, channel seeds,
 	// handover times — a pure function of the configuration.
 	Seed int64
@@ -123,6 +134,9 @@ func NewMetro(cfg MetroConfig) (*Metro, error) {
 	if cfg.HandoverScale < 0 {
 		return nil, fmt.Errorf("cellular: negative handover scale %g", cfg.HandoverScale)
 	}
+	if cfg.ChurnFrac < 0 || cfg.ChurnFrac > 1 {
+		return nil, fmt.Errorf("cellular: churn fraction %g outside [0, 1]", cfg.ChurnFrac)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Metro{NeighborDelay: cfg.NeighborDelay}
 	for s := 0; s < cfg.Sectors; s++ {
@@ -144,9 +158,30 @@ func NewMetro(cfg MetroConfig) (*Metro, error) {
 			Scenario: scs[rng.Intn(len(scs))],
 		}
 		user.Handovers = handoverSchedule(rng, user.Scenario, user.Home, cfg.Sectors, cfg.Horizon, cfg.HandoverScale)
+		// Churn draws come strictly after the per-user scenario and handover
+		// draws, and only when churn is enabled: a ChurnFrac-zero config
+		// consumes the exact RNG stream it always did.
+		if cfg.ChurnFrac > 0 && rng.Float64() < cfg.ChurnFrac {
+			user.Start, user.Stop = churnWindow(rng, cfg.Horizon)
+		}
 		m.Users = append(m.Users, user)
 	}
 	return m, nil
+}
+
+// churnWindow draws one churning user's session: arrival uniform over the
+// first half of the horizon, session length uniform in [horizon/4,
+// 3·horizon/4]. Every churner is therefore active for at least a quarter of
+// the trial, arrivals land mid-run, and sessions whose departure would fall
+// past the horizon simply run to the end (Stop 0 — no departure event).
+func churnWindow(rng *rand.Rand, horizon time.Duration) (start, stop time.Duration) {
+	start = time.Duration(rng.Int63n(int64(horizon/2) + 1))
+	length := horizon/4 + time.Duration(rng.Int63n(int64(horizon/2)+1))
+	stop = start + length
+	if stop >= horizon {
+		stop = 0
+	}
+	return start, stop
 }
 
 // handoverSchedule rolls a user's handover train out to the horizon: events
@@ -208,6 +243,12 @@ func (m *Metro) Validate() error {
 	for _, u := range m.Users {
 		if u.Home < 0 || u.Home >= len(m.Sectors) {
 			return fmt.Errorf("cellular: user %d homed on unknown sector %d", u.ID, u.Home)
+		}
+		if u.Start < 0 {
+			return fmt.Errorf("cellular: user %d has negative session start %v", u.ID, u.Start)
+		}
+		if u.Stop != 0 && u.Stop <= u.Start {
+			return fmt.Errorf("cellular: user %d session stop %v not after start %v", u.ID, u.Stop, u.Start)
 		}
 		if !sort.SliceIsSorted(u.Handovers, func(a, b int) bool { return u.Handovers[a].At < u.Handovers[b].At }) {
 			return fmt.Errorf("cellular: user %d handover schedule not sorted", u.ID)

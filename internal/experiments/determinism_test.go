@@ -53,10 +53,10 @@ func goldenCases(o *obs.Observer) []struct {
 	// workers, the other on the single-heap reference. Their renders are
 	// digested independently, and TestMetroExecutorEquivalence additionally
 	// proves the executors agree byte-for-byte at equal settings.
-	metro := func(tech cellular.Tech, shards, parallel int) string {
+	metro := func(tech cellular.Tech, shards, parallel int, churn float64) string {
 		res, err := Metro(MetroOptions{
 			Sectors: 4, FlowCounts: []int{32}, Duration: 4 * time.Second,
-			Shards: shards, Tech: tech, HandoverScale: 0.05,
+			Shards: shards, Tech: tech, HandoverScale: 0.05, ChurnFrac: churn,
 			Seed: 123, Parallel: parallel, Obs: o,
 		})
 		if err != nil {
@@ -84,8 +84,13 @@ func goldenCases(o *obs.Observer) []struct {
 		{"FaultTunnelOutage", func(p int) string { return fault(faults.ScenarioTunnelOutage, p) }},
 		{"FaultHighwayHandover", func(p int) string { return fault(faults.ScenarioHighwayHandover, p) }},
 		{"FaultCityLoss", func(p int) string { return fault(faults.ScenarioCityLoss, p) }},
-		{"MetroLTE-sharded4", func(p int) string { return metro(cellular.TechLTE, 4, p) }},
-		{"Metro3G-singleheap", func(p int) string { return metro(cellular.Tech3G, 0, p) }},
+		{"MetroLTE-sharded4", func(p int) string { return metro(cellular.TechLTE, 4, p, 0) }},
+		{"Metro3G-singleheap", func(p int) string { return metro(cellular.Tech3G, 0, p, 0) }},
+		// PR 7: user churn active — half the users arrive/depart mid-run. The
+		// digest locks the churn schedule derivation (draw order, window
+		// arithmetic) exactly as the two churn-free metro digests lock the
+		// handover schedule.
+		{"MetroChurnLTE-sharded4", func(p int) string { return metro(cellular.TechLTE, 4, p, 0.5) }},
 	}
 }
 

@@ -44,7 +44,11 @@ type MetroOptions struct {
 	// HandoverScale compresses the scenarios' handover cadence (see
 	// cellular.MetroConfig); zero keeps the natural spacing.
 	HandoverScale float64
-	Seed          int64
+	// ChurnFrac is the fraction of users that arrive mid-run and/or depart
+	// early (see cellular.MetroConfig.ChurnFrac). Zero disables churn and
+	// leaves pre-churn topologies byte-identical.
+	ChurnFrac float64
+	Seed      int64
 	// Parallel is the trial worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallel int
 	// Obs, when non-nil, instruments every sector link and the mesh itself.
@@ -54,14 +58,16 @@ type MetroOptions struct {
 // pool returns the trial executor for these options.
 func (o MetroOptions) pool() *runner.Pool { return runner.New(o.Parallel) }
 
-// DefaultMetroOptions is the full city-scale sweep (minutes of wall time).
+// DefaultMetroOptions is the full city-scale sweep (tens of minutes of wall
+// time at the 100k point), with a third of the users churning mid-run.
 func DefaultMetroOptions() MetroOptions {
 	return MetroOptions{
 		Sectors:    8,
-		FlowCounts: []int{1000, 4000, 10000},
+		FlowCounts: []int{10000, 40000, 100000},
 		Duration:   30 * time.Second,
 		Shards:     8,
 		Tech:       cellular.TechLTE,
+		ChurnFrac:  0.3,
 		Seed:       42,
 	}
 }
@@ -151,6 +157,9 @@ func Metro(opts MetroOptions) (MetroResult, error) {
 			return MetroResult{}, fmt.Errorf("experiments: metro flow count %d must be positive", n)
 		}
 	}
+	if opts.ChurnFrac < 0 || opts.ChurnFrac > 1 {
+		return MetroResult{}, fmt.Errorf("experiments: metro churn fraction %v outside [0, 1]", opts.ChurnFrac)
+	}
 	out := MetroResult{Sectors: opts.Sectors, Duration: opts.Duration, Tech: opts.Tech}
 	protos := metroProtocols()
 	var jobs []runner.Job[MetroPoint]
@@ -175,13 +184,14 @@ func Metro(opts MetroOptions) (MetroResult, error) {
 // routing — then collects the point.
 func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
 	topo, err := cellular.NewMetro(cellular.MetroConfig{
-		Sectors:  opts.Sectors,
-		Users:    flows,
-		Tech:     opts.Tech,
+		Sectors:       opts.Sectors,
+		Users:         flows,
+		Tech:          opts.Tech,
 		Operator:      cellular.OperatorB,
 		MeanMbps:      metroSectorMbps(opts.Tech),
 		Horizon:       opts.Duration,
 		HandoverScale: opts.HandoverScale,
+		ChurnFrac:     opts.ChurnFrac,
 		Seed:          seed,
 	})
 	if err != nil {
@@ -197,36 +207,47 @@ func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
 	// after the run.
 	handoversByCell := make([]int64, opts.Sectors)
 	links := make([]*netsim.TraceLink, opts.Sectors)
+	// The routing fabric is three persistent receivers per sector — home
+	// delivery, link egress, and the detour bounce — so packets cross the
+	// mesh without boxing per-packet closures (the pooled zero-alloc path).
+	homeRecv := make([]netsim.ReceiverFunc, opts.Sectors)
+	bounce := make([]netsim.ReceiverFunc, opts.Sectors)
 	for s := 0; s < opts.Sectors; s++ {
 		s := s
 		sim := mesh.Cell(s)
-		// deliverHome hands a packet to its flow's sink on the home timeline,
+		// homeRecv hands a packet to its flow's sink on the home timeline,
 		// honoring any active handover stall by deferring to the release
 		// instant (the stall-then-burst delivery signature).
-		deliverHome := func(p *netsim.Packet) {
+		homeRecv[s] = func(p *netsim.Packet) {
 			st := states[p.Flow]
 			if now := sim.Now(); now < st.stallUntil {
-				pkt := p
-				sim.After(st.stallUntil-now, func() { st.sink.Receive(pkt) })
+				sim.SchedulePacketAfter(st.stallUntil-now, st.sink, p)
 				return
 			}
 			st.sink.Receive(p)
 		}
+		// bounce runs on the serving sector's timeline and sends the packet
+		// back to its home cell; home is immutable per flow, so reading it
+		// from another cell's timeline is safe under sharding.
+		bounce[s] = func(p *netsim.Packet) {
+			st := states[p.Flow]
+			mesh.SendPacket(s, st.home, topo.NeighborDelay, homeRecv[st.home], p)
+		}
+	}
+	for s := 0; s < opts.Sectors; s++ {
+		s := s
+		sim := mesh.Cell(s)
 		recv := netsim.ReceiverFunc(func(p *netsim.Packet) {
 			st := states[p.Flow]
 			if st.cur == s {
-				deliverHome(p)
+				homeRecv[s](p)
 				return
 			}
 			// Handed-over user: the packet detours via the serving sector —
 			// one backhaul hop out, one back — before the home-cell sink
 			// acknowledges it. Both hops ride the mesh's lookahead channels,
 			// which is what makes handovers cross-shard traffic.
-			cur := st.cur
-			pkt := p
-			mesh.Send(s, cur, topo.NeighborDelay, func() {
-				mesh.Send(cur, s, topo.NeighborDelay, func() { deliverHome(pkt) })
-			})
+			mesh.SendPacket(s, st.cur, topo.NeighborDelay, bounce[st.cur], p)
 		})
 		model := cellular.NewModel(topo.Sectors[s].Channel)
 		tr := model.Trace(opts.Duration)
@@ -243,10 +264,18 @@ func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
 			ctrl := mk.New()
 			observe(opts.Obs, ctrl, seed, u.ID)
 			// Stagger starts so thousands of flows do not slow-start in
-			// lockstep; the phase is a pure function of the user id.
-			start := time.Duration(u.ID%64) * 25 * time.Millisecond
+			// lockstep; the phase is a pure function of the user id. Churning
+			// users shift their whole session window by the same stagger, so
+			// session lengths survive and a zero Stop still means "runs to
+			// the end" (claiming no extra event keys for non-churners).
+			stagger := time.Duration(u.ID%64) * 25 * time.Millisecond
+			start := stagger + u.Start
+			stop := u.Stop
+			if stop > 0 {
+				stop += stagger
+			}
 			src, fm := netsim.NewSource(sim, u.ID, ctrl, links[u.Home], MTU,
-				10*time.Millisecond, start, 0)
+				10*time.Millisecond, start, stop)
 			st.sink = src.Sink()
 			metrics[u.ID] = fm
 			for _, h := range u.Handovers {

@@ -58,6 +58,60 @@ func TestMetroExecutorEquivalence(t *testing.T) {
 	}
 }
 
+// TestMetroChurnEquivalence extends the executor-equivalence gate to user
+// churn: with a third of the users arriving and departing mid-run, the render
+// must still be byte-identical across the single-heap reference and every
+// shard count, and across serial vs pooled trial scheduling. It also proves
+// churn is not a no-op (the render differs from the churn-free run) and that
+// zero churn leaves the original schedule untouched (ChurnFrac: 0 matches
+// the pre-churn construction bit for bit — guaranteed by gating every churn
+// RNG draw on ChurnFrac > 0).
+func TestMetroChurnEquivalence(t *testing.T) {
+	churnOpts := func(shards, parallel int) MetroOptions {
+		o := metroTestOptions(shards)
+		o.ChurnFrac = 1.0 / 3.0
+		o.Parallel = parallel
+		return o
+	}
+	ref, err := Metro(churnOpts(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Render()
+	baseline, err := Metro(metroTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == baseline.Render() {
+		t.Fatal("churn run renders identically to the churn-free run; churn schedule is not wired")
+	}
+	for _, p := range ref.Points {
+		if p.AggMbps <= 0 {
+			t.Errorf("%s delivered nothing under churn", p.Protocol)
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		got, err := Metro(churnOpts(shards, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.Render(); g != want {
+			t.Errorf("churn sharded-%d render diverges from single-heap serial reference:\n--- single\n%s\n--- sharded-%d\n%s",
+				shards, want, shards, g)
+		}
+	}
+}
+
+func TestMetroRejectsBadChurn(t *testing.T) {
+	for _, c := range []float64{-0.1, 1.5} {
+		o := metroTestOptions(0)
+		o.ChurnFrac = c
+		if _, err := Metro(o); err == nil {
+			t.Errorf("churn fraction %v accepted", c)
+		}
+	}
+}
+
 // TestMetroShardStress is the CI metro-smoke workload: a larger topology run
 // sharded at 4 and at 8 so the race detector (CI runs this test under -race)
 // sweeps the worker handoff paths under real contention, and serial trial

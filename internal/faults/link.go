@@ -29,6 +29,10 @@ type Link struct {
 	geBad    bool
 	held     []*netsim.Packet
 
+	// reorderRecv is the one receiver reused for every reordered packet's
+	// re-arrival, so reordering schedules no closures.
+	reorderRecv netsim.Receiver
+
 	// passive is fixed at Wrap: the plan has no per-packet stochastic
 	// impairment, so deliveries outside event windows never touch the RNG.
 	passive bool
@@ -85,6 +89,10 @@ func Wrap(sim *netsim.Sim, plan *Plan, seed int64, dst netsim.Receiver, mk func(
 	l.passive = plan == nil || (plan.Loss == nil &&
 		plan.CorruptProb == 0 && plan.DupProb == 0 && plan.ReorderProb == 0)
 	l.fast = l.passive
+	l.reorderRecv = netsim.ReceiverFunc(func(p *netsim.Packet) {
+		l.ReorderPending--
+		l.arrive(p)
+	})
 	l.inner = mk(netsim.ReceiverFunc(l.egress))
 	if plan != nil {
 		base := sim.Now()
@@ -113,6 +121,7 @@ func (l *Link) Queue() netsim.Queue { return l.inner.Queue() }
 func (l *Link) Send(p *netsim.Packet) {
 	if l.inOutage {
 		l.SendDropped++
+		l.sim.FreePacket(p)
 		return
 	}
 	l.inner.Send(p)
@@ -134,6 +143,7 @@ func (l *Link) egress(p *netsim.Packet) {
 	if l.inOutage {
 		// In service or propagating when the outage hit.
 		l.EgressDropped++
+		l.sim.FreePacket(p)
 		return
 	}
 	if l.inStall {
@@ -163,6 +173,7 @@ func (l *Link) deliver(p *netsim.Packet) {
 		}
 		if drop {
 			l.BurstLost++
+			l.sim.FreePacket(p)
 			return
 		}
 	}
@@ -170,22 +181,28 @@ func (l *Link) deliver(p *netsim.Packet) {
 		// The receiver's checksum rejects the mangled packet; in the
 		// simulator that collapses to an accounted drop.
 		l.Corrupted++
+		l.sim.FreePacket(p)
 		return
 	}
 	if l.plan != nil && l.plan.ReorderProb > 0 && l.rng.Float64() < l.plan.ReorderProb {
 		l.Reordered++
 		l.ReorderPending++
-		pkt := p
-		l.sim.After(l.plan.ReorderDelay, func() {
-			l.ReorderPending--
-			l.arrive(pkt)
-		})
+		l.sim.SchedulePacketAfter(l.plan.ReorderDelay, l.reorderRecv, p)
 		return
 	}
-	l.arrive(p)
+	// The duplicate draw happens before p is handed downstream: once arrived,
+	// p may already be released (a CBR sink frees on delivery), so the copy
+	// must be cloned from it first. arrive consumes no randomness and the
+	// draw order (reorder, then duplicate) matches the historical code, so
+	// the RNG stream is unchanged.
+	var dup *netsim.Packet
 	if l.plan != nil && l.plan.DupProb > 0 && l.rng.Float64() < l.plan.DupProb {
 		l.Duplicated++
-		l.arrive(p)
+		dup = l.sim.ClonePacket(p)
+	}
+	l.arrive(p)
+	if dup != nil {
+		l.arrive(dup)
 	}
 }
 
@@ -195,6 +212,7 @@ func (l *Link) deliver(p *netsim.Packet) {
 func (l *Link) arrive(p *netsim.Packet) {
 	if l.inOutage {
 		l.EgressDropped++
+		l.sim.FreePacket(p)
 		return
 	}
 	if l.inStall {
@@ -226,11 +244,16 @@ func (l *Link) startOutage(dur time.Duration) {
 	for p := q.Dequeue(now); p != nil; p = q.Dequeue(now) {
 		l.QueueDrained++
 		drained++
+		l.sim.FreePacket(p)
 	}
 	// A stall interrupted by an outage loses its held packets too.
 	if l.inStall || len(l.held) > 0 {
 		l.EgressDropped += int64(len(l.held))
 		l.Held -= int64(len(l.held))
+		for i, p := range l.held {
+			l.sim.FreePacket(p)
+			l.held[i] = nil
+		}
 		l.held = l.held[:0]
 	}
 	l.emitFault(obs.KindFaultBegin, "outage", dur.Seconds(), drained)

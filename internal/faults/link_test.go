@@ -81,6 +81,7 @@ func randomPlan(rng *rand.Rand, span time.Duration) *faults.Plan {
 }
 
 type faultRun struct {
+	sim   *netsim.Sim
 	d     *netsim.Dumbbell
 	fl    *faults.Link
 	inner *netsim.FixedLink
@@ -90,6 +91,7 @@ type faultRun struct {
 func runFaultDumbbell(seed int64, plan *faults.Plan, rng *rand.Rand, stop, until time.Duration) faultRun {
 	sim := netsim.NewSim()
 	var r faultRun
+	r.sim = sim
 	r.q = randomQueue(rng)
 	rate := 1 + rng.Float64()*30
 	prop := time.Duration(rng.Intn(40)) * time.Millisecond

@@ -19,6 +19,7 @@ type CBR struct {
 	offFor   time.Duration
 	nextSeq  int64
 	stopped  bool
+	runFn    func() // the one self-rescheduling callback, bound once
 }
 
 // NewCBR creates a constant-rate flow of rateMbps using mtu-sized packets,
@@ -45,7 +46,8 @@ func NewCBR(sim *Sim, flow int, link Link, mtu int, rateMbps float64,
 		offFor:   offFor,
 	}
 	c.sink = &Sink{sim: sim, metrics: m} // no src: CBR needs no ACKs
-	sim.Schedule(start, func() { c.run() })
+	c.runFn = c.run
+	sim.Schedule(start, c.runFn)
 	if stop > 0 {
 		sim.Schedule(stop, func() { c.stopped = true })
 	}
@@ -68,16 +70,16 @@ func (c *CBR) run() {
 		phase := c.sim.Now() % cycle
 		if phase >= c.onFor {
 			// In an OFF period: sleep until the next ON boundary.
-			c.sim.After(cycle-phase, c.run)
+			c.sim.After(cycle-phase, c.runFn)
 			return
 		}
 	}
 	c.send()
-	c.sim.After(c.interval, c.run)
+	c.sim.After(c.interval, c.runFn)
 }
 
 func (c *CBR) send() {
-	p := &Packet{Flow: c.flow, Seq: c.nextSeq, Bytes: c.mtu, SentAt: c.sim.Now()}
+	p := c.sim.NewPacket(c.flow, c.nextSeq, c.mtu, c.sim.Now(), 0)
 	c.nextSeq++
 	c.metrics.Sent++
 	c.link.Send(p)

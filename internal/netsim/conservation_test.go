@@ -140,6 +140,7 @@ func syntheticTrace(rng *rand.Rand, d time.Duration) *trace.Trace {
 // what internal/faults does from outside the package, so these invariants
 // hold for any conforming decorator, not just ours.
 type chaosIngress struct {
+	sim      *Sim
 	inner    Link
 	rng      *rand.Rand
 	dropP    float64
@@ -154,16 +155,23 @@ func (c *chaosIngress) Queue() Queue { return c.inner.Queue() }
 func (c *chaosIngress) Send(p *Packet) {
 	if c.rng.Float64() < c.dropP {
 		c.drops++
+		c.sim.FreePacket(p)
 		return
 	}
 	c.ingested++
-	c.inner.Send(p)
+	// A conforming duplicator clones through the pool before handing the
+	// original downstream (inner.Send may release a rejected packet
+	// immediately), and each copy is then dropped/delivered/released
+	// independently.
+	var dup *Packet
 	if c.rng.Float64() < c.dupP {
-		// Same *Packet offered twice: the queue must account its bytes
-		// twice and deliver two copies (or drop-count the rejected one).
 		c.dups++
 		c.ingested++
-		c.inner.Send(p)
+		dup = c.sim.ClonePacket(p)
+	}
+	c.inner.Send(p)
+	if dup != nil {
+		c.inner.Send(dup)
 	}
 }
 
@@ -185,6 +193,7 @@ func TestConservationUpstreamFaults(t *testing.T) {
 		d := NewDumbbell(sim, func(dst Receiver) Link {
 			link = NewFixedLink(sim, q, rate, time.Duration(rng.Intn(40))*time.Millisecond, dst, seed+300)
 			chaos = &chaosIngress{
+				sim:   sim,
 				inner: link,
 				rng:   rand.New(rand.NewSource(seed + 400)),
 				dropP: rng.Float64() * 0.2,

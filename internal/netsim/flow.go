@@ -26,9 +26,12 @@ type FlowMetrics struct {
 // NewFlowMetrics returns zeroed metrics for a flow.
 func NewFlowMetrics(flow int) *FlowMetrics {
 	return &FlowMetrics{
-		Flow:          flow,
-		Throughput:    stats.NewThroughputSeries(time.Second),
-		Delay:         stats.NewSummary(1024),
+		Flow:       flow,
+		Throughput: stats.NewThroughputSeries(time.Second),
+		// A modest capacity hint: at 100k-flow metro scale each flow sees few
+		// packets, and Summary grows on demand anyway — a large hint here
+		// multiplies into hundreds of MB of idle preallocation.
+		Delay:         stats.NewSummary(64),
 		DelayOverTime: stats.NewWindowedMean(time.Second),
 	}
 }
@@ -54,6 +57,7 @@ type Sink struct {
 
 // Receive implements Receiver.
 func (k *Sink) Receive(p *Packet) {
+	AssertLive(p, "Sink.Receive")
 	now := k.sim.Now()
 	oneWay := now - p.SentAt
 	k.metrics.Received++
@@ -61,10 +65,14 @@ func (k *Sink) Receive(p *Packet) {
 	k.metrics.Delay.Add(oneWay.Seconds())
 	k.metrics.DelayOverTime.Add(now, oneWay.Seconds())
 	if k.src == nil {
-		return // CBR flows have no feedback loop
+		// CBR flows have no feedback loop: delivery ends the packet's life.
+		k.sim.FreePacket(p)
+		return
 	}
-	pkt := p
-	k.sim.After(k.ackDelay, func() { k.src.onAck(pkt) })
+	// The delivered packet doubles as its own acknowledgement: it rides the
+	// reverse path back to the Source (a Receiver), which releases it after
+	// processing the ack. No closure, no ack object.
+	k.sim.SchedulePacketAfter(k.ackDelay, k.src, p)
 }
 
 // outstanding tracks one unacknowledged packet at the source.
@@ -103,7 +111,7 @@ type Source struct {
 	metrics *FlowMetrics
 
 	nextSeq  int64
-	inflight []*outstanding // ordered by seq
+	inflight []outstanding // ordered by seq; by value, so tracking allocates nothing steady-state
 	srtt     time.Duration
 	rttvar   time.Duration
 	lastProg time.Duration // last forward progress, for RTO
@@ -166,6 +174,16 @@ func (s *Source) Metrics() *FlowMetrics { return s.metrics }
 // dispatcher.
 func (s *Source) Sink() Receiver { return s.sink }
 
+// Receive implements Receiver: the Source is the terminus of the reverse
+// path, consuming the delivered packet as its acknowledgement and releasing
+// it back to the pool. The ack path is the flow path's release point for
+// every packet that survives the network.
+func (s *Source) Receive(p *Packet) {
+	AssertLive(p, "Source ack")
+	s.onAck(p)
+	s.sim.FreePacket(p)
+}
+
 func (s *Source) trySend() {
 	if s.stopped || !s.started {
 		return
@@ -173,15 +191,9 @@ func (s *Source) trySend() {
 	now := s.sim.Now()
 	n := s.ctrl.Allowance(now, len(s.inflight))
 	for i := 0; i < n; i++ {
-		p := &Packet{
-			Flow:   s.flow,
-			Seq:    s.nextSeq,
-			Bytes:  s.mtu,
-			SentAt: now,
-			Window: s.ctrl.SendTag(),
-		}
+		p := s.sim.NewPacket(s.flow, s.nextSeq, s.mtu, now, s.ctrl.SendTag())
 		s.nextSeq++
-		s.inflight = append(s.inflight, &outstanding{seq: p.Seq, sentAt: now, window: p.Window})
+		s.inflight = append(s.inflight, outstanding{seq: p.Seq, sentAt: now, window: p.Window})
 		s.metrics.Sent++
 		s.ctrl.OnSend(now, p.Seq, len(s.inflight))
 		s.link.Send(p)
@@ -232,7 +244,10 @@ func (s *Source) onAck(p *Packet) {
 func (s *Source) detectLosses(now time.Duration, ackedSeq int64) {
 	timerCut := 3 * s.srtt
 	kept := s.inflight[:0]
-	for _, o := range s.inflight {
+	// Index iteration so ackedAfter++ mutates in place; the kept compaction
+	// writes at an index ≤ the read index, so the in-place append is safe.
+	for i := range s.inflight {
+		o := &s.inflight[i]
 		lost := false
 		if o.seq < ackedSeq {
 			o.ackedAfter++
@@ -248,7 +263,7 @@ func (s *Source) detectLosses(now time.Duration, ackedSeq int64) {
 			s.ctrl.OnLoss(now, cc.LossEvent{Seq: o.seq, SentWindow: o.window, Inflight: len(s.inflight) - 1})
 			continue
 		}
-		kept = append(kept, o)
+		kept = append(kept, *o)
 	}
 	s.inflight = kept
 }

@@ -27,21 +27,19 @@ type Link interface {
 	Queue() Queue
 }
 
-// FixedLink serializes packets at a configurable rate with a propagation
-// delay and an optional i.i.d. loss probability. Rate, delay, and loss can
-// change at runtime — the mechanism behind the paper's §7 micro-evaluations
-// where "every five seconds the whole network parameters, i.e. link
-// capacity, network RTT, and loss rate, are changed."
-type FixedLink struct {
+// linkCore is the state and logic shared by FixedLink and TraceLink: the
+// queue, the destination, i.i.d. loss, propagation, counters, and the obs
+// tap. Concentrating the enqueue path (ingress) and the loss/delivery path
+// (finish) here means each packet release point exists in exactly one place,
+// instead of once per link type.
+type linkCore struct {
 	sim   *Sim
 	queue Queue
 	dst   Receiver
 	rng   *rand.Rand
 
-	rateBps  float64
 	propDly  time.Duration
 	lossProb float64
-	busy     bool
 	obs      *linkObs
 
 	// Delivered counts packets that exited the link.
@@ -50,20 +48,99 @@ type FixedLink struct {
 	Lost int64
 }
 
+// ingress enqueues p, reporting false when the queue rejected it. A rejected
+// packet's life ends here: it is released after the obs drop record.
+func (c *linkCore) ingress(p *Packet) bool {
+	AssertLive(p, "link ingress")
+	if !c.queue.Enqueue(p, c.sim.Now()) {
+		if c.obs != nil {
+			c.obs.onDrop(c.sim.Now(), p, "queue")
+		}
+		c.sim.FreePacket(p)
+		return false
+	}
+	if c.obs != nil {
+		c.obs.onEnqueue(c.sim.Now(), p, c.queue.Len(), c.queue.Bytes())
+	}
+	return true
+}
+
+// finish completes service of p: apply the i.i.d. loss draw and either end
+// the packet's life (loss) or count the delivery and schedule propagation to
+// the destination. Counter, obs, and scheduling order match the historical
+// per-link code exactly — the loss RNG is only consulted when lossProb > 0.
+func (c *linkCore) finish(p *Packet) {
+	if c.lossProb > 0 && c.rng.Float64() < c.lossProb {
+		c.Lost++
+		if c.obs != nil {
+			c.obs.onDrop(c.sim.Now(), p, "loss")
+		}
+		c.sim.FreePacket(p)
+		return
+	}
+	c.Delivered++
+	if c.obs != nil {
+		c.obs.onDeliver(c.sim.Now(), p)
+	}
+	c.sim.SchedulePacketAfter(c.propDly, c.dst, p)
+}
+
+// SetPropDelay changes the one-way propagation delay for future deliveries.
+func (c *linkCore) SetPropDelay(d time.Duration) { c.propDly = d }
+
+// SetLossProb changes the i.i.d. loss probability in [0, 1].
+func (c *linkCore) SetLossProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("netsim: loss probability out of range")
+	}
+	c.lossProb = p
+}
+
+// Queue implements Link.
+func (c *linkCore) Queue() Queue { return c.queue }
+
+// Instrument attaches an observer for packet-level tracing and link
+// counters; run labels the trial. A nil observer leaves the link on its
+// disabled fast path.
+func (c *linkCore) Instrument(o *obs.Observer, run int64) {
+	c.obs = newLinkObs(o, run)
+}
+
+// FixedLink serializes packets at a configurable rate with a propagation
+// delay and an optional i.i.d. loss probability. Rate, delay, and loss can
+// change at runtime — the mechanism behind the paper's §7 micro-evaluations
+// where "every five seconds the whole network parameters, i.e. link
+// capacity, network RTT, and loss rate, are changed."
+type FixedLink struct {
+	linkCore
+
+	rateBps float64
+	busy    bool
+	// serving is the packet currently on the wire; servedFn is the one
+	// serialization-complete callback reused for every packet, so serving a
+	// packet schedules no closures.
+	serving  *Packet
+	servedFn func()
+}
+
 // NewFixedLink returns a link serving q at rateMbps with the given one-way
 // propagation delay, delivering to dst.
 func NewFixedLink(sim *Sim, q Queue, rateMbps float64, prop time.Duration, dst Receiver, seed int64) *FixedLink {
 	if rateMbps <= 0 {
 		panic("netsim: link rate must be positive")
 	}
-	return &FixedLink{
-		sim:     sim,
-		queue:   q,
-		dst:     dst,
-		rng:     rand.New(rand.NewSource(seed)),
+	l := &FixedLink{
+		linkCore: linkCore{
+			sim:     sim,
+			queue:   q,
+			dst:     dst,
+			rng:     rand.New(rand.NewSource(seed)),
+			propDly: prop,
+		},
 		rateBps: rateMbps * 1e6,
-		propDly: prop,
 	}
+	l.servedFn = l.onServed
+	return l
 }
 
 // SetRateMbps changes the link capacity; it applies to the next
@@ -78,37 +155,10 @@ func (l *FixedLink) SetRateMbps(m float64) {
 // RateMbps returns the current capacity.
 func (l *FixedLink) RateMbps() float64 { return l.rateBps / 1e6 }
 
-// SetPropDelay changes the one-way propagation delay for future deliveries.
-func (l *FixedLink) SetPropDelay(d time.Duration) { l.propDly = d }
-
-// SetLossProb changes the i.i.d. loss probability in [0, 1].
-func (l *FixedLink) SetLossProb(p float64) {
-	if p < 0 || p > 1 {
-		panic("netsim: loss probability out of range")
-	}
-	l.lossProb = p
-}
-
-// Queue implements Link.
-func (l *FixedLink) Queue() Queue { return l.queue }
-
-// Instrument attaches an observer for packet-level tracing and link
-// counters; run labels the trial. A nil observer leaves the link on its
-// disabled fast path.
-func (l *FixedLink) Instrument(o *obs.Observer, run int64) {
-	l.obs = newLinkObs(o, run)
-}
-
 // Send implements Link.
 func (l *FixedLink) Send(p *Packet) {
-	if !l.queue.Enqueue(p, l.sim.Now()) {
-		if l.obs != nil {
-			l.obs.onDrop(l.sim.Now(), p, "queue")
-		}
+	if !l.ingress(p) {
 		return
-	}
-	if l.obs != nil {
-		l.obs.onEnqueue(l.sim.Now(), p, l.queue.Len(), l.queue.Bytes())
 	}
 	if !l.busy {
 		l.serveNext()
@@ -122,23 +172,18 @@ func (l *FixedLink) serveNext() {
 		return
 	}
 	l.busy = true
+	l.serving = p
 	ser := time.Duration(float64(p.Bytes*8) / l.rateBps * float64(time.Second))
-	l.sim.After(ser, func() {
-		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
-			l.Lost++
-			if l.obs != nil {
-				l.obs.onDrop(l.sim.Now(), p, "loss")
-			}
-		} else {
-			l.Delivered++
-			if l.obs != nil {
-				l.obs.onDeliver(l.sim.Now(), p)
-			}
-			pkt := p
-			l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
-		}
-		l.serveNext()
-	})
+	l.sim.After(ser, l.servedFn)
+}
+
+// onServed fires when the serving packet's last bit leaves the sender:
+// finish it (loss or propagation), then start on the next queued packet.
+func (l *FixedLink) onServed() {
+	p := l.serving
+	l.serving = nil
+	l.finish(p)
+	l.serveNext()
 }
 
 // TraceLink drains its queue according to a recorded cellular trace: at each
@@ -148,25 +193,22 @@ func (l *FixedLink) serveNext() {
 // traffic shaper: "The channel traces are fed into a traffic shaper and
 // replayed upon packet arrival."
 type TraceLink struct {
-	sim   *Sim
-	queue Queue
-	dst   Receiver
-	rng   *rand.Rand
-	tr    *trace.Trace
+	linkCore
 
-	propDly  time.Duration
-	lossProb float64
-	loop     bool
-	obs      *linkObs
+	tr   *trace.Trace
+	loop bool
 	// headServed is how many bytes of the head packet have already been
 	// served by earlier opportunities (RLC-style segmentation: a packet may
 	// span several transmission opportunities).
 	headServed int
+	// opIdx/opBase locate the pending delivery opportunity; opFn is the one
+	// callback reused for every opportunity, so trace replay schedules no
+	// closures.
+	opIdx  int
+	opBase time.Duration
+	opFn   func()
 
-	// Delivered counts packets that exited the link; Lost counts loss
-	// injections; WastedBytes counts unused opportunity capacity.
-	Delivered   int64
-	Lost        int64
+	// WastedBytes counts unused opportunity capacity.
 	WastedBytes int64
 }
 
@@ -178,46 +220,24 @@ func NewTraceLink(sim *Sim, q Queue, tr *trace.Trace, prop time.Duration, dst Re
 		panic("netsim: trace has no delivery opportunities")
 	}
 	l := &TraceLink{
-		sim:     sim,
-		queue:   q,
-		dst:     dst,
-		rng:     rand.New(rand.NewSource(seed)),
-		tr:      tr,
-		propDly: prop,
-		loop:    loop,
+		linkCore: linkCore{
+			sim:     sim,
+			queue:   q,
+			dst:     dst,
+			rng:     rand.New(rand.NewSource(seed)),
+			propDly: prop,
+		},
+		tr:   tr,
+		loop: loop,
 	}
+	l.opFn = l.runOp
 	l.scheduleOp(0, 0)
 	return l
 }
 
-// SetLossProb changes the i.i.d. loss probability in [0, 1].
-func (l *TraceLink) SetLossProb(p float64) {
-	if p < 0 || p > 1 {
-		panic("netsim: loss probability out of range")
-	}
-	l.lossProb = p
-}
-
-// Queue implements Link.
-func (l *TraceLink) Queue() Queue { return l.queue }
-
-// Instrument attaches an observer for packet-level tracing and link
-// counters; run labels the trial.
-func (l *TraceLink) Instrument(o *obs.Observer, run int64) {
-	l.obs = newLinkObs(o, run)
-}
-
 // Send implements Link.
 func (l *TraceLink) Send(p *Packet) {
-	if !l.queue.Enqueue(p, l.sim.Now()) {
-		if l.obs != nil {
-			l.obs.onDrop(l.sim.Now(), p, "queue")
-		}
-		return
-	}
-	if l.obs != nil {
-		l.obs.onEnqueue(l.sim.Now(), p, l.queue.Len(), l.queue.Bytes())
-	}
+	l.ingress(p)
 }
 
 func (l *TraceLink) scheduleOp(idx int, base time.Duration) {
@@ -228,11 +248,15 @@ func (l *TraceLink) scheduleOp(idx int, base time.Duration) {
 		idx = 0
 		base += l.tr.Duration
 	}
-	op := l.tr.Ops[idx]
-	l.sim.Schedule(base+op.At, func() {
-		l.serve(op.Bytes)
-		l.scheduleOp(idx+1, base)
-	})
+	l.opIdx, l.opBase = idx, base
+	l.sim.Schedule(base+l.tr.Ops[idx].At, l.opFn)
+}
+
+// runOp serves the pending delivery opportunity and schedules the next one.
+func (l *TraceLink) runOp() {
+	op := l.tr.Ops[l.opIdx]
+	l.serve(op.Bytes)
+	l.scheduleOp(l.opIdx+1, l.opBase)
 }
 
 func (l *TraceLink) serve(budget int) {
@@ -253,20 +277,7 @@ func (l *TraceLink) serve(budget int) {
 		}
 		budget -= need
 		l.headServed = 0
-		p := l.queue.Dequeue(l.sim.Now())
-		if l.lossProb > 0 && l.rng.Float64() < l.lossProb {
-			l.Lost++
-			if l.obs != nil {
-				l.obs.onDrop(l.sim.Now(), p, "loss")
-			}
-			continue
-		}
-		l.Delivered++
-		if l.obs != nil {
-			l.obs.onDeliver(l.sim.Now(), p)
-		}
-		pkt := p
-		l.sim.After(l.propDly, func() { l.dst.Receive(pkt) })
+		l.finish(l.queue.Dequeue(l.sim.Now()))
 	}
 }
 
@@ -275,15 +286,9 @@ func (l *TraceLink) serve(budget int) {
 func (l *TraceLink) peek() *Packet {
 	switch q := l.queue.(type) {
 	case *DropTail:
-		if len(q.fifo) == 0 {
-			return nil
-		}
-		return q.fifo[0]
+		return q.Peek()
 	case *RED:
-		if len(q.fifo) == 0 {
-			return nil
-		}
-		return q.fifo[0]
+		return q.Peek()
 	default:
 		panic("netsim: TraceLink requires a DropTail or RED queue")
 	}

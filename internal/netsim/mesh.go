@@ -110,14 +110,19 @@ func (m *Mesh) PendingCross() int {
 	return n
 }
 
-// crossMsg is one message in a lookahead channel: a callback bound for
-// another cell, carrying the arrival time and the order key its sending
-// cell claimed for it.
+// crossMsg is one message in a lookahead channel: a callback — or a packet
+// delivery (r/p set, fn nil) — bound for another cell, carrying the arrival
+// time and the order key its sending cell claimed for it. The packet variant
+// is the cross-shard envelope of the pooled path: no closure is boxed, and
+// the packet simply migrates to the destination cell (whose pool it will be
+// released into).
 type crossMsg struct {
 	dst int32
 	at  time.Duration
 	key uint64
 	fn  func()
+	r   Receiver
+	p   *Packet
 }
 
 // Send schedules fn in cell dst's timeline at the sending cell's now+delay.
@@ -143,9 +148,35 @@ func (m *Mesh) Send(src, dst int, delay time.Duration, fn func()) {
 	m.deliver(crossMsg{dst: int32(dst), at: at, key: key, fn: fn})
 }
 
+// SendPacket is Send for a packet delivery: p arrives at Receiver r in cell
+// dst's timeline at now+delay, with no closure boxed into the channel. Same
+// preconditions as Send; the packet must not be touched by the sending cell
+// after the call (ownership migrates with it).
+func (m *Mesh) SendPacket(src, dst int, delay time.Duration, r Receiver, p *Packet) {
+	if delay < m.lookahead {
+		panic(fmt.Sprintf("netsim: cross-cell delay %v below mesh lookahead %v", delay, m.lookahead))
+	}
+	if dst < 0 || dst >= len(m.cells) {
+		panic(fmt.Sprintf("netsim: cross-cell send to unknown cell %d (mesh has %d)", dst, len(m.cells)))
+	}
+	AssertLive(p, "Mesh.SendPacket")
+	s := m.cells[src]
+	at := s.now + delay
+	key := s.nextKey()
+	if m.buffering {
+		s.outbox = append(s.outbox, crossMsg{dst: int32(dst), at: at, key: key, r: r, p: p})
+		return
+	}
+	m.deliver(crossMsg{dst: int32(dst), at: at, key: key, r: r, p: p})
+}
+
 // deliver pushes one channel message into its destination heap.
 func (m *Mesh) deliver(msg crossMsg) {
-	m.cells[msg.dst].pushKeyed(msg.at, msg.key, msg.fn)
+	if msg.r != nil {
+		m.cells[msg.dst].pushKeyedPacket(msg.at, msg.key, msg.r, msg.p)
+	} else {
+		m.cells[msg.dst].pushKeyed(msg.at, msg.key, msg.fn)
+	}
 	m.crossDelivered++
 }
 

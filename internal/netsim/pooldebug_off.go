@@ -1,0 +1,22 @@
+//go:build !pooldebug
+
+package netsim
+
+// Release builds carry no per-packet pool state: the poison hooks compile to
+// empty inlined calls, so the pooled hot path pays nothing for the
+// diagnostics. Build with -tags pooldebug to arm them (CI does, under
+// -race, on the metro churn smoke).
+
+// PoolDebug reports whether release poisoning is compiled in.
+const PoolDebug = false
+
+// poolMeta is the per-packet pool state; empty in release builds.
+type poolMeta struct{}
+
+func (p *Packet) markLive()  {}
+func (p *Packet) markFreed() {}
+
+// AssertLive checks that p has not been released back to a pool. No-op in
+// release builds; under -tags pooldebug it panics on a released packet,
+// naming the touch point.
+func AssertLive(p *Packet, ctx string) {}

@@ -1,0 +1,50 @@
+//go:build pooldebug
+
+package netsim
+
+import "fmt"
+
+// pooldebug build: every packet carries a released bit, FreePacket panics on
+// double-release, released packets are field-poisoned so any read after
+// release produces conspicuously broken values (negative flow ids, negative
+// sizes — which queues, metrics, and conservation identities all reject),
+// and AssertLive turns key touch points into hard panics. The tag exists
+// for CI and tests only; release builds compile the hooks away
+// (pooldebug_off.go).
+
+// PoolDebug reports whether release poisoning is compiled in.
+const PoolDebug = true
+
+// Poison field values written into a released packet.
+const (
+	poisonFlow  = -0xDEAD
+	poisonSeq   = -0xDEAD
+	poisonBytes = -0xDEAD
+)
+
+// poolMeta is the per-packet pool state.
+type poolMeta struct {
+	freed bool
+}
+
+func (p *Packet) markLive() { p.freed = false }
+
+func (p *Packet) markFreed() {
+	if p.freed {
+		panic(fmt.Sprintf("netsim: double release of packet flow=%d seq=%d (pooldebug)", p.Flow, p.Seq))
+	}
+	p.freed = true
+	p.Flow = poisonFlow
+	p.Seq = poisonSeq
+	p.Bytes = poisonBytes
+	p.SentAt = -1
+	p.Window = poisonFlow
+}
+
+// AssertLive panics if p has been released back to a pool, naming the touch
+// point that observed the stale reference.
+func AssertLive(p *Packet, ctx string) {
+	if p != nil && p.freed {
+		panic(fmt.Sprintf("netsim: use-after-release at %s (pooldebug)", ctx))
+	}
+}

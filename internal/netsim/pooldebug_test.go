@@ -1,0 +1,78 @@
+//go:build pooldebug
+
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, what string, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+		t.Fatalf("%s did not panic under pooldebug", what)
+	}()
+	return msg
+}
+
+// TestPoolDebugDoubleReleasePanics: releasing the same packet twice is the
+// classic pool corruption — under pooldebug it must die loudly, not hand the
+// same pointer to two owners.
+func TestPoolDebugDoubleReleasePanics(t *testing.T) {
+	if !PoolDebug {
+		t.Fatal("pooldebug tag not active")
+	}
+	sim := NewSim()
+	p := sim.NewPacket(1, 1, 100, 0, 0)
+	sim.FreePacket(p)
+	msg := mustPanic(t, "double release", func() { sim.FreePacket(p) })
+	if !strings.Contains(msg, "double release") {
+		t.Fatalf("panic message %q does not name the double release", msg)
+	}
+}
+
+// TestPoolDebugUseAfterReleasePanics: a freed packet handed to any AssertLive
+// checkpoint (queues, links, sinks) must panic with the checkpoint's context
+// string, and the poisoned fields make the stale pointer obvious in dumps.
+func TestPoolDebugUseAfterReleasePanics(t *testing.T) {
+	sim := NewSim()
+	p := sim.NewPacket(2, 9, 1400, time.Second, 3)
+	sim.FreePacket(p)
+	if p.Flow != -0xDEAD || p.Seq != -0xDEAD || p.Bytes != -0xDEAD || p.SentAt != -1 {
+		t.Fatalf("released packet not poisoned: %+v", *p)
+	}
+	msg := mustPanic(t, "use after release", func() { AssertLive(p, "test checkpoint") })
+	if !strings.Contains(msg, "test checkpoint") {
+		t.Fatalf("panic message %q does not carry the checkpoint context", msg)
+	}
+	// The real checkpoints fire too: enqueueing a freed packet panics.
+	q := NewDropTail(1 << 16)
+	mustPanic(t, "enqueue after release", func() { q.Enqueue(p, 0) })
+}
+
+// TestPoolDebugRecycledPacketIsLive: a recycled packet must come back fully
+// live — the debug flag cleared, fields rewritten — or the first reuse after
+// any release would trip the checkpoints.
+func TestPoolDebugRecycledPacketIsLive(t *testing.T) {
+	sim := NewSim()
+	p := sim.NewPacket(1, 1, 100, 0, 0)
+	sim.FreePacket(p)
+	q := sim.NewPacket(3, 4, 500, time.Millisecond, 2)
+	if q != p {
+		t.Fatal("expected LIFO recycle of the released packet")
+	}
+	AssertLive(q, "recycled") // must not panic
+	if q.Flow != 3 || q.Seq != 4 || q.Bytes != 500 {
+		t.Fatalf("recycled packet keeps poison: %+v", *q)
+	}
+}

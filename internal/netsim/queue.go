@@ -6,8 +6,11 @@ import (
 	"time"
 )
 
-// Packet is the unit of transfer in the simulator.
+// Packet is the unit of transfer in the simulator. Packets are pooled: sim
+// code obtains them from Sim.NewPacket/ClonePacket and returns them with
+// Sim.FreePacket when their life ends (see pool.go for the ownership rules).
 type Packet struct {
+	poolMeta
 	// Flow identifies the sending flow.
 	Flow int
 	// Seq is the flow-local sequence number.
@@ -21,7 +24,8 @@ type Packet struct {
 }
 
 // Queue is a bottleneck buffer. Enqueue returns false when the packet is
-// dropped (tail drop or AQM decision).
+// dropped (tail drop or AQM decision); the caller keeps ownership of a
+// rejected packet (and typically releases it).
 type Queue interface {
 	Enqueue(p *Packet, now time.Duration) bool
 	Dequeue(now time.Duration) *Packet
@@ -31,10 +35,59 @@ type Queue interface {
 	Bytes() int
 }
 
+// pktRing is a FIFO of packets over a power-of-two circular buffer. The old
+// `fifo = fifo[1:]` reslicing walked the backing array forward so append had
+// to reallocate perpetually even at a constant queue depth; the ring reuses
+// its slots, which is what lets a saturated bottleneck run allocation-free.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) grow() {
+	nc := len(r.buf) * 2
+	if nc == 0 {
+		nc = 16
+	}
+	nb := make([]*Packet, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) peek() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
 // DropTail is a FIFO with a byte capacity.
 type DropTail struct {
 	limit int
-	fifo  []*Packet
+	ring  pktRing
 	bytes int
 	// Drops counts enqueue rejections.
 	Drops int
@@ -50,29 +103,31 @@ func NewDropTail(limitBytes int) *DropTail {
 
 // Enqueue implements Queue.
 func (q *DropTail) Enqueue(p *Packet, _ time.Duration) bool {
+	AssertLive(p, "DropTail.Enqueue")
 	if q.bytes+p.Bytes > q.limit {
 		q.Drops++
 		return false
 	}
-	q.fifo = append(q.fifo, p)
+	q.ring.push(p)
 	q.bytes += p.Bytes
 	return true
 }
 
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue(_ time.Duration) *Packet {
-	if len(q.fifo) == 0 {
+	p := q.ring.pop()
+	if p == nil {
 		return nil
 	}
-	p := q.fifo[0]
-	q.fifo[0] = nil
-	q.fifo = q.fifo[1:]
 	q.bytes -= p.Bytes
 	return p
 }
 
+// Peek returns the head-of-line packet without dequeuing it (nil when empty).
+func (q *DropTail) Peek() *Packet { return q.ring.peek() }
+
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.fifo) }
+func (q *DropTail) Len() int { return q.ring.n }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() int { return q.bytes }
@@ -92,7 +147,7 @@ type RED struct {
 	HardLimitBytes int
 
 	rng    *rand.Rand
-	fifo   []*Packet
+	ring   pktRing
 	bytes  int
 	avg    float64
 	count  int // packets since last drop, for uniformized drop spacing
@@ -131,6 +186,7 @@ func NewRED(minBytes, maxBytes int, maxP float64, seed int64) *RED {
 
 // Enqueue implements Queue.
 func (q *RED) Enqueue(p *Packet, now time.Duration) bool {
+	AssertLive(p, "RED.Enqueue")
 	// Update the average queue size. After an idle period the average decays
 	// as if small packets had been draining (approximation: decay toward 0
 	// with the idle time measured in packet transmission slots). The idle
@@ -173,7 +229,7 @@ func (q *RED) Enqueue(p *Packet, now time.Duration) bool {
 			return false
 		}
 	}
-	q.fifo = append(q.fifo, p)
+	q.ring.push(p)
 	q.bytes += p.Bytes
 	q.idle = false
 	return true
@@ -181,22 +237,23 @@ func (q *RED) Enqueue(p *Packet, now time.Duration) bool {
 
 // Dequeue implements Queue.
 func (q *RED) Dequeue(now time.Duration) *Packet {
-	if len(q.fifo) == 0 {
+	p := q.ring.pop()
+	if p == nil {
 		return nil
 	}
-	p := q.fifo[0]
-	q.fifo[0] = nil
-	q.fifo = q.fifo[1:]
 	q.bytes -= p.Bytes
-	if len(q.fifo) == 0 {
+	if q.ring.n == 0 {
 		q.idle = true
 		q.idleAt = now
 	}
 	return p
 }
 
+// Peek returns the head-of-line packet without dequeuing it (nil when empty).
+func (q *RED) Peek() *Packet { return q.ring.peek() }
+
 // Len implements Queue.
-func (q *RED) Len() int { return len(q.fifo) }
+func (q *RED) Len() int { return q.ring.n }
 
 // Bytes implements Queue.
 func (q *RED) Bytes() int { return q.bytes }

@@ -28,6 +28,13 @@ type event struct {
 	seq uint64
 	fn  func()
 	t   *timer // non-nil for recurring events; fn is nil then
+	// r/p carry a packet delivery without boxing a closure: the event fires
+	// as r.Receive(p). Packet deliveries dominate the hot path, so giving
+	// them a closure-free representation is what makes the steady state
+	// allocation-free (the pooled Packet is recycled, the Receiver is a
+	// long-lived component).
+	r Receiver
+	p *Packet
 }
 
 // cellSeqBits is the width of the cell-local counter inside a composite
@@ -95,6 +102,9 @@ type Sim struct {
 	// mesh is executing a sharded window; the coordinator drains it at the
 	// next barrier. Only the goroutine executing this cell appends to it.
 	outbox []crossMsg
+	// pool is this Sim's packet free list (see pool.go). Owned per cell, so
+	// sharded mesh execution recycles packets with no synchronization.
+	pool packetPool
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -166,6 +176,27 @@ func (s *Sim) pushKeyed(at time.Duration, key uint64, fn func()) {
 	s.push(event{at: at, seq: key, fn: fn})
 }
 
+// pushKeyedPacket is pushKeyed for a packet delivery: the event fires as
+// r.Receive(p) with no closure.
+func (s *Sim) pushKeyedPacket(at time.Duration, key uint64, r Receiver, p *Packet) {
+	s.push(event{at: at, seq: key, r: r, p: p})
+}
+
+// SchedulePacket delivers p to r at the given absolute simulated time,
+// without allocating a closure. Times in the past are clamped to now, same
+// as Schedule.
+func (s *Sim) SchedulePacket(at time.Duration, r Receiver, p *Packet) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{at: at, seq: s.nextKey(), r: r, p: p})
+}
+
+// SchedulePacketAfter delivers p to r d from now.
+func (s *Sim) SchedulePacketAfter(d time.Duration, r Receiver, p *Packet) {
+	s.SchedulePacket(s.now+d, r, p)
+}
+
 // Schedule runs fn at the given absolute simulated time. Times in the past
 // are clamped to now (the event runs next).
 func (s *Sim) Schedule(at time.Duration, fn func()) {
@@ -222,6 +253,10 @@ func (s *Sim) step() {
 		if !t.stopped {
 			s.push(event{at: s.now + t.interval, seq: s.nextKey(), t: t})
 		}
+		return
+	}
+	if e.r != nil {
+		e.r.Receive(e.p)
 		return
 	}
 	e.fn()
