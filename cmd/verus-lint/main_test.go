@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/all"
 )
 
@@ -72,5 +75,105 @@ func TestLintErrorOnBadPattern(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := Lint(&out, "../..", []string{"./does-not-exist/..."}, all.Analyzers()); err == nil {
 		t.Fatal("expected error for nonexistent package pattern")
+	}
+}
+
+// TestRunReportsTiming: Run must return one timing entry per analyzer, in
+// suite order, so -timing and the CI job summary can print them without
+// re-deriving the suite.
+func TestRunReportsTiming(t *testing.T) {
+	res, err := Run("../..", []string{"./internal/analysis/load"}, all.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	suite := all.Analyzers()
+	if len(res.Timing) != len(suite) {
+		t.Fatalf("timing entries = %d, want %d", len(res.Timing), len(suite))
+	}
+	for i, a := range suite {
+		if res.Timing[i].Name != a.Name {
+			t.Errorf("timing[%d] = %s, want %s (suite order)", i, res.Timing[i].Name, a.Name)
+		}
+	}
+}
+
+// TestSARIFOutput runs the suite over a scratch module with one known
+// violation and checks the SARIF report parses, carries every analyzer as
+// a rule (plus the directive pseudo-analyzer), and locates the result.
+func TestSARIFOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "netsim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package netsim\n\nimport \"time\"\n\nfunc Now() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "netsim", "clock.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dir, []string{"./..."}, all.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, res.Fset, all.Analyzers(), res.Diags); err != nil {
+		t.Fatalf("write sarif: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(all.Analyzers())+1; got != want {
+		t.Errorf("rules = %d, want %d (suite + directive)", got, want)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1 (the wall-clock read):\n%s", len(run.Results), buf.String())
+	}
+	r := run.Results[0]
+	if r.RuleID != "nowalltime" || r.Level != "error" {
+		t.Errorf("result = %s/%s, want nowalltime/error", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if !strings.HasSuffix(loc.ArtifactLocation.URI, "netsim/clock.go") || loc.Region.StartLine != 5 {
+		t.Errorf("location = %s:%d, want .../netsim/clock.go:5", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}
+
+// TestExitCodeClassification pins the exit-status mapping the fuzz
+// target (FuzzDirectiveParser) relies on: ordinary violations exit 1,
+// malformed //lint: directives rank as configuration errors and exit 2.
+func TestExitCodeClassification(t *testing.T) {
+	ordinary := []analysis.Diagnostic{{Analyzer: "nowalltime", Message: "x"}}
+	if got := exitCode(ordinary); got != 1 {
+		t.Errorf("exitCode(violations) = %d, want 1", got)
+	}
+	mixed := append(ordinary, analysis.Diagnostic{Analyzer: "directive", Message: "malformed"})
+	if got := exitCode(mixed); got != 2 {
+		t.Errorf("exitCode(with malformed directive) = %d, want 2", got)
+	}
+}
+
+// TestDocCommentListsAllAnalyzers keeps the package doc comment in sync
+// with all.Analyzers(): the comment's analyzer list is regenerated by
+// hand whenever the suite changes, and this test is what notices a stale
+// one (the bug this suite's own history includes).
+func TestDocCommentListsAllAnalyzers(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(src[:bytes.Index(src, []byte("package main"))])
+	for _, a := range all.Analyzers() {
+		if !strings.Contains(doc, a.Name) {
+			t.Errorf("main.go doc comment does not mention analyzer %q; regenerate the list from all.Analyzers()", a.Name)
+		}
+	}
+	if !strings.Contains(doc, "directive") {
+		t.Error("main.go doc comment does not mention the directive pseudo-analyzer")
 	}
 }

@@ -4,22 +4,30 @@ package all
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/crossshard"
 	"repro/internal/analysis/floatorder"
 	"repro/internal/analysis/maprange"
 	"repro/internal/analysis/nofaultsinprod"
 	"repro/internal/analysis/noglobalrand"
 	"repro/internal/analysis/nowalltime"
+	"repro/internal/analysis/poolleak"
 	"repro/internal/analysis/poolrelease"
+	"repro/internal/analysis/unusedsuppress"
 )
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order. Analyzers with
+// AfterSuite set (unusedsuppress) sort last in every ordering the driver
+// uses, because they read state the ordinary analyzers write.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		crossshard.Analyzer,
 		floatorder.Analyzer,
 		maprange.Analyzer,
 		nofaultsinprod.Analyzer,
 		noglobalrand.Analyzer,
 		nowalltime.Analyzer,
+		poolleak.Analyzer,
 		poolrelease.Analyzer,
+		unusedsuppress.Analyzer,
 	}
 }

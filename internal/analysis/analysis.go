@@ -32,6 +32,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one static check.
@@ -47,6 +48,11 @@ type Analyzer struct {
 	// Run reports violations on the pass. Diagnostics suppressed by a
 	// valid directive are dropped by the Pass, not by the analyzer.
 	Run func(*Pass) error
+	// AfterSuite marks a suite-level analyzer: the driver runs it only
+	// after every ordinary analyzer has finished its pass over the
+	// package, against the same shared Index, so its Run can observe
+	// which suppression directives actually fired (unusedsuppress).
+	AfterSuite bool
 }
 
 // Diagnostic is one reported violation.
@@ -65,21 +71,35 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags      []Diagnostic
-	directives directiveIndex
+	directives *Index
 }
 
-// NewPass assembles a pass. The directive index is built from the files'
-// comments once per (package, analyzer) pair.
+// NewPass assembles a pass with a private directive index, built from the
+// files' comments for this (package, analyzer) pair alone.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return NewPassShared(a, fset, files, pkg, info, NewIndex(fset, files))
+}
+
+// NewPassShared assembles a pass against a caller-owned directive index,
+// shared by every analyzer in a suite over the same package. Sharing is
+// what lets suppression usage accumulate across passes — the raw material
+// of the unusedsuppress analyzer — and the index is safe for the driver's
+// one-goroutine-per-analyzer parallelism.
+func NewPassShared(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ix *Index) *Pass {
+	ix.register(a)
 	return &Pass{
 		Analyzer:   a,
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,
 		TypesInfo:  info,
-		directives: indexDirectives(fset, files),
+		directives: ix,
 	}
 }
+
+// SuiteIndex returns the directive index this pass consults (shared when
+// the pass was built with NewPassShared).
+func (p *Pass) SuiteIndex() *Index { return p.directives }
 
 // Reportf records a diagnostic at pos unless a valid directive for this
 // analyzer covers the line (or the line above).
@@ -102,17 +122,11 @@ func (p *Pass) Diagnostics() []Diagnostic {
 }
 
 // suppressed reports whether a well-formed directive for this analyzer
-// covers the given position. Malformed directives never suppress; they are
-// themselves flagged by CheckDirectives.
+// covers the given position, marking the directive used in the index.
+// Malformed directives never suppress; they are themselves flagged by
+// CheckDirectives.
 func (p *Pass) suppressed(pos token.Position) bool {
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, d := range p.directives.at(pos.Filename, line) {
-			if d.Analyzer == p.Analyzer.Name && d.wellFormed(p.Analyzer) {
-				return true
-			}
-		}
-	}
-	return false
+	return p.directives.suppress(p.Analyzer, pos)
 }
 
 // Directive is one parsed //lint: comment.
@@ -123,6 +137,10 @@ type Directive struct {
 	Reason   string
 	// Raw is the full comment text, for error messages.
 	Raw string
+
+	// used records that the directive suppressed at least one diagnostic;
+	// guarded by the owning Index's mutex.
+	used bool
 }
 
 // wellFormed reports whether the directive is a valid suppression for a.
@@ -143,16 +161,22 @@ func (d Directive) wellFormed(a *Analyzer) bool {
 // message.
 var directiveRe = regexp.MustCompile(`^//lint:([a-z][a-z0-9]*)\s+([A-Za-z0-9-]+)\s*(?:--\s*(.*\S))?\s*$`)
 
-// directiveIndex maps filename → line → directives on that line.
-type directiveIndex map[string]map[int][]Directive
-
-func (ix directiveIndex) at(file string, line int) []Directive {
-	return ix[file][line]
+// Index holds one package's parsed //lint: directives plus the suite
+// bookkeeping built on them: which analyzers consulted the index (ran)
+// and which directives suppressed at least one diagnostic (used). A
+// single Index is shared by every pass over a package — including passes
+// running on different goroutines under the parallel driver — so all
+// mutation happens under its mutex.
+type Index struct {
+	mu     sync.Mutex
+	byLine map[string]map[int][]*Directive // filename → line → directives
+	all    []*Directive                    // source order
+	ran    map[string]*Analyzer            // analyzers registered via NewPassShared
 }
 
-// indexDirectives parses every //lint: comment in the files.
-func indexDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
-	ix := directiveIndex{}
+// NewIndex parses every //lint: comment in the files into a fresh index.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{byLine: map[string]map[int][]*Directive{}, ran: map[string]*Analyzer{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -161,16 +185,63 @@ func indexDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
 				}
 				d := parseDirective(c)
 				pos := fset.Position(c.Pos())
-				byLine := ix[pos.Filename]
+				byLine := ix.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]Directive{}
-					ix[pos.Filename] = byLine
+					byLine = map[int][]*Directive{}
+					ix.byLine[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line] = append(byLine[pos.Line], &d)
+				ix.all = append(ix.all, &d)
 			}
 		}
 	}
 	return ix
+}
+
+// register records that analyzer a is running against this index.
+func (ix *Index) register(a *Analyzer) {
+	ix.mu.Lock()
+	ix.ran[a.Name] = a
+	ix.mu.Unlock()
+}
+
+// suppress reports whether a well-formed directive for the analyzer
+// covers pos (the flagged line or the line above), marking it used.
+func (ix *Index) suppress(a *Analyzer, pos token.Position) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range ix.byLine[pos.Filename][line] {
+			if d.Analyzer == a.Name && d.wellFormed(a) {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnusedSuppressions returns the well-formed directives that name an
+// analyzer registered against this index yet suppressed no diagnostic —
+// suppression debt. Directives naming `except` (the reporting analyzer
+// itself, which has not finished running) and directives for analyzers
+// that did not run this invocation are skipped, as are malformed ones
+// (CheckDirectives owns those). The result is in source order.
+func (ix *Index) UnusedSuppressions(except string) []*Directive {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []*Directive
+	for _, d := range ix.all {
+		if d.used || d.Analyzer == except {
+			continue
+		}
+		a, ranHere := ix.ran[d.Analyzer]
+		if !ranHere || !d.wellFormed(a) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // parseDirective decodes one //lint: comment; an unparsable comment yields a

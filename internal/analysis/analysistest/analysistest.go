@@ -55,6 +55,45 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunSuite analyzes each fixture package with several analyzers sharing
+// one directive index per package — the driver's own execution model, so
+// AfterSuite analyzers (unusedsuppress) see the suppression hits the
+// ordinary analyzers recorded. Ordinary analyzers run first, AfterSuite
+// ones last; diagnostics from all of them plus directive validation are
+// checked against the fixtures' want comments together.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := loadFixture(fset, pkg, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		ix := analysis.NewIndex(fset, loaded.Files)
+		var diags []analysis.Diagnostic
+		runOne := func(a *analysis.Analyzer) {
+			pass := analysis.NewPassShared(a, fset, loaded.Files, loaded.Types, loaded.Info, ix)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		for _, a := range analyzers {
+			if !a.AfterSuite {
+				runOne(a)
+			}
+		}
+		for _, a := range analyzers {
+			if a.AfterSuite {
+				runOne(a)
+			}
+		}
+		diags = append(diags, analysis.CheckDirectives(fset, loaded.Files, analyzers)...)
+		checkWants(t, fset, pkg, loaded.Files, diags)
+	}
+}
+
 // loadFixture type-checks one fixture directory against the stdlib packages
 // its files import.
 func loadFixture(fset *token.FileSet, pkg, dir string) (*load.Package, error) {

@@ -1,0 +1,12 @@
+package crossshard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/crossshard"
+)
+
+func TestCrossShard(t *testing.T) {
+	analysistest.Run(t, "testdata", crossshard.Analyzer, "netsim")
+}

@@ -1,0 +1,114 @@
+package flow
+
+// Forward worklist fixpoint over a Graph. The lattice is the analyzer's:
+// states are opaque values joined and compared through the Transfers
+// interface, with nil as the implicit bottom ("path not reached") — the
+// engine never passes nil to Transfer, and Join is only called on non-nil
+// pairs. Analyzers keep their states immutable: Transfer must return a
+// fresh (or unchanged) value rather than mutating its input, because the
+// input is shared with the predecessor's cached out-state.
+
+// Transfers is a forward dataflow problem over one graph.
+type Transfers interface {
+	// Entry returns the state at function entry. Must be non-nil.
+	Entry() any
+	// Transfer computes the block's out-state from its in-state, without
+	// mutating the input.
+	Transfer(b *Block, in any) any
+	// Join merges two reachable states (both non-nil).
+	Join(a, b any) any
+	// Equal reports whether two states are the same lattice element; the
+	// fixpoint terminates when every block's out-state stops changing.
+	Equal(a, b any) bool
+}
+
+// Result carries the converged per-block states. In[b] is nil for blocks
+// no path reaches.
+type Result struct {
+	In, Out map[*Block]any
+}
+
+// Fixpoint runs the problem to convergence in reverse post-order and
+// returns the per-block in/out states. The iteration count is capped as a
+// backstop against a non-monotone Transfers implementation; the lattices
+// the verus-lint analyzers use are finite and converge far below it.
+func Fixpoint(g *Graph, t Transfers) *Result {
+	order := reversePostorder(g)
+	res := &Result{In: map[*Block]any{}, Out: map[*Block]any{}}
+	inList := map[*Block]bool{}
+	var work []*Block
+	push := func(b *Block) {
+		if !inList[b] {
+			inList[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range order {
+		push(b)
+	}
+	budget := 64*len(g.Blocks) + 256
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		inList[b] = false
+
+		var in any
+		if b == g.Entry {
+			in = t.Entry()
+		}
+		for _, p := range b.Preds {
+			if o := res.Out[p]; o != nil {
+				if in == nil {
+					in = o
+				} else {
+					in = t.Join(in, o)
+				}
+			}
+		}
+		if in == nil {
+			continue // unreachable
+		}
+		res.In[b] = in
+		out := t.Transfer(b, in)
+		if old, ok := res.Out[b]; ok && t.Equal(old, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return res
+}
+
+// reversePostorder orders blocks so predecessors tend to precede
+// successors, which lets the worklist converge in few sweeps. Blocks
+// unreachable from Entry are appended afterwards (they stay nil-state but
+// keep the traversal total and deterministic).
+func reversePostorder(g *Graph) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	out := make([]*Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package analysis
+
+// FuzzDirectiveParser hammers the //lint: grammar with hostile comment
+// text — malformed analyzer names, missing "--" reason separators,
+// multi-directive lines, stray whitespace. Two properties are pinned:
+//
+//  1. parseDirective never panics and parses all-or-nothing: a Directive
+//     either carries an analyzer and a claim or carries neither.
+//  2. The binary-facing classification: a comment starting //lint: either
+//     validates cleanly against the analyzer set or yields diagnostics
+//     attributed only to the "directive" pseudo-analyzer — the class
+//     verus-lint maps to exit 2 — and a non-directive comment yields
+//     none. A malformed suppression can therefore never pass silently or
+//     masquerade as an ordinary violation.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func FuzzDirectiveParser(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:nowalltime real-time -- the pacing loop reads the wall clock",
+		"//lint:",
+		"//lint:noglobalrand seeded",
+		"//lint:poolrelease pool-internal --",
+		"//lint:Bad_Name claim -- reason",
+		"//lint:unknownanalyzer claim -- reason",
+		"//lint:nowalltime wrong-claim -- reason",
+		"//lint:a b -- c // want `x`",
+		"//lint:one x -- r //lint:two y -- r",
+		"// plain comment",
+		"//lint:nowalltime real-time--missing spaces",
+		"//lint:nowalltime   real-time   --   padded   ",
+	} {
+		f.Add(seed)
+	}
+	checkers := []*Analyzer{
+		{Name: "nowalltime", Doc: "fuzz stand-in", Claims: []string{"real-time"}},
+		{Name: "poolrelease", Doc: "fuzz stand-in", Claims: []string{"pool-internal"}},
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d := parseDirective(&ast.Comment{Slash: 1, Text: text})
+		if d.Analyzer == "" && d.Claim != "" {
+			t.Fatalf("partial parse of %q: claim %q without analyzer", text, d.Claim)
+		}
+		if d.Analyzer != "" && d.Claim == "" {
+			t.Fatalf("partial parse of %q: analyzer %q without claim", text, d.Analyzer)
+		}
+
+		// The classification pin needs the text to survive as a real
+		// one-line comment in a source file.
+		if strings.ContainsAny(text, "\n\r") || !strings.HasPrefix(text, "//") {
+			return
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", "package p\n"+text+"\n", parser.ParseComments)
+		if err != nil {
+			return
+		}
+		diags := CheckDirectives(fset, []*ast.File{file}, checkers)
+		for _, dg := range diags {
+			if dg.Analyzer != "directive" {
+				t.Fatalf("directive validation attributed to %q, want \"directive\": %s", dg.Analyzer, dg.Message)
+			}
+		}
+		if !strings.HasPrefix(text, "//lint:") {
+			if len(diags) > 0 {
+				t.Fatalf("non-directive comment %q produced %d directive diagnostic(s)", text, len(diags))
+			}
+			return
+		}
+		if len(diags) == 0 && (d.Analyzer == "" || d.Reason == "") {
+			t.Fatalf("malformed directive %q passed validation: %+v", text, d)
+		}
+	})
+}

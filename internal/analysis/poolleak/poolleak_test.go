@@ -1,0 +1,12 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolleak"
+)
+
+func TestPoolLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", poolleak.Analyzer, "netsim")
+}

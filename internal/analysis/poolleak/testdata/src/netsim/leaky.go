@@ -1,0 +1,50 @@
+package netsim
+
+// LeakOnDrop frees the packet on the deliver arm but forgets it when the
+// congestion gate drops the send: one branch of the if leaks.
+func (s *Sim) LeakOnDrop(congested bool) {
+	p := s.NewPacket(1, 1) // want `may leak`
+	if congested {
+		return
+	}
+	s.FreePacket(p)
+}
+
+// LeakOnBreak settles each iteration's packet except on the early break
+// out of the for loop.
+func (s *Sim) LeakOnBreak(n int) {
+	for i := 0; i < n; i++ {
+		p := s.NewPacket(2, int64(i)) // want `may leak`
+		if i == n-1 {
+			break
+		}
+		s.FreePacket(p)
+	}
+}
+
+// LeakDespiteDefer frees the original through the defer, but the clone
+// taken mid-body is never settled.
+func (s *Sim) LeakDespiteDefer(flow int) {
+	p := s.NewPacket(3, 1)
+	defer s.FreePacket(p)
+	dup := s.ClonePacket(p) // want `may leak`
+	dup.Bytes++
+}
+
+// DiscardResult drops the allocation on the floor outright.
+func (s *Sim) DiscardResult() {
+	s.NewPacket(4, 1) // want `discarded`
+}
+
+// BlankResult is the same mistake spelled with the blank identifier.
+func (s *Sim) BlankResult() {
+	_ = s.NewPacket(5, 1) // want `assigned to _`
+}
+
+// OverwriteOwned reassigns the variable while the first packet is still
+// owned, orphaning it.
+func (s *Sim) OverwriteOwned() {
+	p := s.NewPacket(6, 1)
+	p = s.NewPacket(6, 2) // want `orphans the packet`
+	s.FreePacket(p)
+}

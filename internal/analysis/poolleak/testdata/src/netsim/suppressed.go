@@ -1,0 +1,13 @@
+package netsim
+
+// Parked keeps the packet owned past return on the hold path: the drain
+// event frees it later, which the dataflow cannot see, so the allocation
+// carries the escape hatch.
+func (s *Sim) Parked(hold bool) {
+	//lint:poolleak released-elsewhere -- the drain event frees parked packets on the next flush
+	p := s.NewPacket(7, 1)
+	if hold {
+		return
+	}
+	s.FreePacket(p)
+}

@@ -1,0 +1,33 @@
+package netsim
+
+// ScheduledForDelivery: the event heap owns the packet once
+// SchedulePacketAfter accepts it.
+func (s *Sim) ScheduledForDelivery(at int64) {
+	p := s.NewPacket(1, 1)
+	s.SchedulePacketAfter(at, p)
+}
+
+// PushedAcrossMesh: the outbox owns the packet once SendPacket accepts it.
+func PushedAcrossMesh(m *Mesh, s *Sim) {
+	p := s.NewPacket(2, 1)
+	m.SendPacket(0, 1, 5, p)
+}
+
+// SentOrFreed: datapath custody on the good path, release on the drop
+// path — both settle the packet.
+func SentOrFreed(l *Link, s *Sim, up bool) {
+	p := s.NewPacket(3, 1)
+	if !up {
+		s.FreePacket(p)
+		return
+	}
+	l.Send(p)
+}
+
+// HeldInFlight records the packet in a struct the Sim owns — an escape
+// into the aggregate, so release is the holder's problem, not this
+// function's.
+func (s *Sim) HeldInFlight() {
+	p := s.NewPacket(4, 1)
+	s.inflight = append(s.inflight, p)
+}

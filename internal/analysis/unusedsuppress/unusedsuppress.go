@@ -1,0 +1,44 @@
+// Package unusedsuppress keeps the suppression inventory honest: a
+// //lint: directive earns its place by suppressing a diagnostic; once
+// the code it excused is fixed or deleted, the directive is debt that
+// silently pre-forgives future regressions on that line. This analyzer
+// flags every well-formed directive that suppressed nothing.
+//
+// It cannot run standalone — "suppressed nothing" is a fact about the
+// whole suite's execution, so the analyzer carries AfterSuite and the
+// driver runs it only after every ordinary analyzer has finished against
+// the same shared directive index (analysis.Index records a hit each
+// time Pass.Reportf swallows a diagnostic). Directives naming analyzers
+// that did not run this invocation are skipped, so a partial run (e.g.
+// verus-lint -only) never produces false "unused" findings, and
+// malformed directives stay the "directive" pseudo-analyzer's business.
+//
+// A directive that is intentionally kept while its code path is dormant
+// (e.g. a build-tagged branch) can itself be suppressed:
+//
+//	//lint:unusedsuppress keep -- <why the dormant directive must stay>
+package unusedsuppress
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unusedsuppress pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "unusedsuppress",
+	Doc:        "flag //lint: directives that no longer suppress any diagnostic",
+	Claims:     []string{"keep"},
+	AfterSuite: true,
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.SuiteIndex().UnusedSuppressions(pass.Analyzer.Name) {
+		pass.Reportf(d.Pos,
+			"suppression %q matches no diagnostic: the code it excused is fixed or gone; delete the directive",
+			strings.TrimSpace(d.Raw))
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package unusedsuppress_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolrelease"
+	"repro/internal/analysis/unusedsuppress"
+)
+
+func TestUnusedSuppress(t *testing.T) {
+	analysistest.RunSuite(t, "testdata",
+		[]*analysis.Analyzer{poolrelease.Analyzer, unusedsuppress.Analyzer},
+		"netsim")
+}

@@ -194,16 +194,16 @@ func (l *Link) deliver(p *netsim.Packet) {
 	// p may already be released (a CBR sink frees on delivery), so the copy
 	// must be cloned from it first. arrive consumes no randomness and the
 	// draw order (reorder, then duplicate) matches the historical code, so
-	// the RNG stream is unchanged.
-	var dup *netsim.Packet
+	// the RNG stream is unchanged. The clone is consumed in the same branch
+	// that takes it, which also lets poolleak verify its custody per path.
 	if l.plan != nil && l.plan.DupProb > 0 && l.rng.Float64() < l.plan.DupProb {
 		l.Duplicated++
-		dup = l.sim.ClonePacket(p)
+		dup := l.sim.ClonePacket(p)
+		l.arrive(p)
+		l.arrive(dup)
+		return
 	}
 	l.arrive(p)
-	if dup != nil {
-		l.arrive(dup)
-	}
 }
 
 // arrive is the final gate before the destination. A packet that was held
