@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// CLI-level checkpoint/resume contract: flag validation exits 2 before any
+// work, a bad snapshot fails a resume closed with exit 2, and the
+// crash-injection harness — SIGKILL a child mid-metro-run, resume from its
+// last checkpoint — reproduces the uninterrupted run byte-for-byte.
+
+var benchBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "verus-bench-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	benchBin = filepath.Join(dir, "verus-bench")
+	// The children deliberately run without -race instrumentation: they are
+	// separate processes exercising the CLI surface, not this test binary.
+	if out, err := exec.Command("go", "build", "-o", benchBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building verus-bench: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// runBench runs the built binary and returns stdout, stderr, and the exit
+// code (-1 if killed by a signal).
+func runBench(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(benchBin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestFlagValidationExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"shards-without-metro", []string{"-shards", "2"}},
+		{"churn-without-metro", []string{"-churn", "0.1"}},
+		{"checkpoint-without-metro", []string{"-checkpoint", "snap.bin"}},
+		{"resume-without-metro", []string{"-resume", "snap.bin"}},
+		{"crash-after-without-metro", []string{"-crash-after", "1"}},
+		{"resume-with-shards", []string{"-metro", "-resume", "snap.bin", "-shards", "2"}},
+		{"resume-with-churn", []string{"-metro", "-resume", "snap.bin", "-churn", "0.2"}},
+		{"crash-after-without-checkpoint", []string{"-metro", "-crash-after", "1"}},
+		{"checkpoint-every-zero", []string{"-metro", "-checkpoint", "snap.bin", "-checkpoint-every", "0s"}},
+		{"shards-below-range", []string{"-metro", "-shards", "-2"}},
+		{"churn-above-range", []string{"-metro", "-churn", "1.5"}},
+		{"unknown-only", []string{"-only", "fig99"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runBench(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("args %v: exit code %d, want 2 (stderr: %s)", tc.args, code, stderr)
+			}
+			if !strings.Contains(stderr, "verus-bench:") {
+				t.Errorf("args %v: stderr has no diagnostic: %q", tc.args, stderr)
+			}
+			if strings.Contains(stdout, "====") {
+				t.Errorf("args %v: an experiment ran before validation: %q", tc.args, stdout)
+			}
+		})
+	}
+}
+
+func TestResumeFromBadSnapshotExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.bin")
+	if err := os.WriteFile(garbage, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, path := range map[string]string{
+		"garbage": garbage,
+		"missing": filepath.Join(dir, "absent.bin"),
+	} {
+		stdout, stderr, code := runBench(t, "-quick", "-metro", "-resume", path)
+		if code != 2 {
+			t.Fatalf("%s snapshot: exit code %d, want 2 (stderr: %s)", name, code, stderr)
+		}
+		if !strings.Contains(stderr, "verus-bench: metro:") {
+			t.Errorf("%s snapshot: stderr lacks the metro diagnostic: %q", name, stderr)
+		}
+		if strings.Contains(stdout, "flows") {
+			t.Errorf("%s snapshot: partial resume produced output: %q", name, stdout)
+		}
+	}
+}
+
+// metroRender extracts the metro section of a verus-bench stdout.
+func metroRender(t *testing.T, stdout string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(stdout, "==== METRO")
+	if !ok {
+		t.Fatalf("no metro section in output:\n%s", stdout)
+	}
+	_, rest, ok = strings.Cut(rest, "\n")
+	if !ok {
+		t.Fatalf("truncated metro header in output:\n%s", stdout)
+	}
+	render, _, ok := strings.Cut(rest, "[metro took")
+	if !ok {
+		t.Fatalf("no metro footer in output:\n%s", stdout)
+	}
+	return render
+}
+
+func TestCrashInjectionResumeMatchesStraightRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness runs three quick metro sweeps")
+	}
+	straightOut, stderr, code := runBench(t, "-quick", "-metro", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("straight run failed with %d: %s", code, stderr)
+	}
+	want := metroRender(t, straightOut)
+
+	snapPath := filepath.Join(t.TempDir(), "crash.bin")
+	cmd := exec.Command(benchBin, "-quick", "-metro", "-seed", "7",
+		"-checkpoint", snapPath, "-checkpoint-every", "2s", "-crash-after", "2")
+	var crashOut strings.Builder
+	cmd.Stdout = &crashOut
+	cmd.Stderr = &crashOut
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("crash run did not die: err=%v output=%s", err, crashOut.String())
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("crash run died of %v, want SIGKILL", ee)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("crashed run left no checkpoint: %v", err)
+	}
+
+	resumeOut, stderr, code := runBench(t, "-quick", "-metro", "-seed", "7", "-resume", snapPath)
+	if code != 0 {
+		t.Fatalf("resume after crash failed with %d: %s", code, stderr)
+	}
+	if got := metroRender(t, resumeOut); got != want {
+		t.Errorf("resume after SIGKILL diverges from the uninterrupted run:\n-- straight --\n%s\n-- resumed --\n%s", want, got)
+	}
+}

@@ -25,6 +25,18 @@
 // the fraction of users that arrive and depart mid-run (default 0.3 at full
 // scale, 0 on -quick); every setting renders byte-identical output.
 //
+// -checkpoint writes a versioned, CRC-trailed snapshot of the in-flight
+// metro trial to a file at every -checkpoint-every of virtual time (each
+// write lands at a quiescent mesh barrier and atomically replaces the file),
+// and -resume restores an interrupted sweep from such a file and runs it to
+// completion — rendering byte-identical output to a run that was never
+// interrupted. Both require -metro; -resume rejects -shards/-churn because
+// the snapshot fixes the topology, and a truncated, corrupted, wrong-version,
+// or mismatched-config snapshot fails closed with exit 2 before any state is
+// touched. -crash-after N SIGKILLs the process right after the Nth
+// checkpoint write; it exists for the crash-injection harness, which kills a
+// child mid-sweep and verifies the resumed digest.
+//
 // -trace, -chrometrace, and -metrics attach the internal/obs observability
 // layer: -trace writes the virtual-time event stream as JSONL, -chrometrace
 // writes the same stream in Chrome trace_event format (load in
@@ -38,6 +50,8 @@
 //
 //	verus-bench [-quick] [-only fig8,table1,...] [-faults name|all] [-seed N]
 //	            [-metro] [-shards N] [-churn F] [-parallel N] [-benchjson out.json]
+//	            [-checkpoint snap.bin] [-checkpoint-every D] [-resume snap.bin]
+//	            [-crash-after N]
 //	            [-trace out.jsonl] [-chrometrace out.json] [-metrics out.prom]
 //	            [-tracecap N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -227,6 +241,10 @@ func main() {
 	metroFlag := flag.Bool("metro", false, "run the city-scale metro sweep (thousands of flows across sharded cell sectors); alone it runs only the metro sweep")
 	shardsFlag := flag.Int("shards", -1, "metro mesh shard count (0 = single-heap reference executor, -1 = harness default)")
 	churnFlag := flag.Float64("churn", -1, "metro user churn fraction in [0,1] (-1 = harness default; 0.3 on full runs, 0 on -quick)")
+	checkpointFlag := flag.String("checkpoint", "", "metro: write a resumable snapshot to this file at every -checkpoint-every of virtual time (requires -metro)")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Second, "metro: virtual-time interval between -checkpoint snapshots")
+	resumeFlag := flag.String("resume", "", "metro: resume an interrupted sweep from this snapshot file (requires -metro; the file fixes the topology)")
+	crashAfter := flag.Int("crash-after", 0, "metro: kill the process with SIGKILL right after the Nth checkpoint write (crash-injection testing; requires -checkpoint)")
 	seed := flag.Int64("seed", 42, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker count (1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-harness wall-times as JSON to this file")
@@ -290,6 +308,36 @@ func main() {
 	// whose default scale is an order of magnitude beyond the rest.
 	metroSelected := want["metro"]
 
+	// Metro-only flags outside a metro run are a usage error (exit 2, like
+	// -only/-faults), not a silent no-op.
+	for _, f := range []struct {
+		name string
+		set  bool
+	}{
+		{"-shards", *shardsFlag >= 0},
+		{"-churn", *churnFlag >= 0},
+		{"-checkpoint", *checkpointFlag != ""},
+		{"-resume", *resumeFlag != ""},
+		{"-crash-after", *crashAfter > 0},
+	} {
+		if f.set && !metroSelected {
+			fmt.Fprintf(os.Stderr, "verus-bench: %s only applies to the metro sweep; add -metro (or -only metro)\n", f.name)
+			os.Exit(2)
+		}
+	}
+	if *resumeFlag != "" && (*shardsFlag >= 0 || *churnFlag >= 0) {
+		fmt.Fprintf(os.Stderr, "verus-bench: -resume restores the checkpointed topology; -shards/-churn conflict with it\n")
+		os.Exit(2)
+	}
+	if *crashAfter > 0 && *checkpointFlag == "" {
+		fmt.Fprintf(os.Stderr, "verus-bench: -crash-after requires -checkpoint\n")
+		os.Exit(2)
+	}
+	if *checkpointFlag != "" && *checkpointEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "verus-bench: -checkpoint-every must be positive (got %v)\n", *checkpointEvery)
+		os.Exit(2)
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -328,6 +376,25 @@ func main() {
 	macro.Seed = *seed
 	micro.Seed = *seed
 	metroOpts.Seed = *seed
+	metroOpts.CheckpointPath = *checkpointFlag
+	if *checkpointFlag != "" {
+		metroOpts.CheckpointEvery = *checkpointEvery
+	}
+	metroOpts.ResumeFrom = *resumeFlag
+	if *crashAfter > 0 {
+		n := *crashAfter
+		metroOpts.CheckpointHook = func(ordinal int, path string) {
+			if ordinal != n {
+				return
+			}
+			// SIGKILL, not os.Exit: the crash harness wants the ungraceful
+			// death a preempted worker actually suffers.
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				_ = p.Kill()
+			}
+		}
+	}
 	macro.Parallel = *parallel
 	micro.Parallel = *parallel
 	metroOpts.Parallel = *parallel
@@ -412,6 +479,13 @@ func main() {
 		run("metro", "city-scale sharded multi-cell sweep", func() string {
 			res, err := experiments.Metro(metroOpts)
 			if err != nil {
+				// A bad snapshot (truncated, corrupted, wrong version, or a
+				// config mismatch) is a usage-class failure: fail closed
+				// before any state is touched, exit 2 like flag validation.
+				if *resumeFlag != "" || *checkpointFlag != "" {
+					fmt.Fprintf(os.Stderr, "verus-bench: metro: %v\n", err)
+					os.Exit(2)
+				}
 				fatalf("metro: %v", err)
 			}
 			return res.Render()

@@ -15,7 +15,7 @@ import "regexp"
 // and metric snapshots feed rendered output, so it is bound by the same
 // contract), and the experiment harnesses (including their subpackages,
 // e.g. experiments/runner).
-var simPkgRe = regexp.MustCompile(`(^|/)(netsim|cellular|verus|tcp|sprout|experiments|predictor|faults|obs)(/|$)`)
+var simPkgRe = regexp.MustCompile(`(^|/)(netsim|cellular|verus|tcp|sprout|experiments|predictor|faults|obs|snap)(/|$)`)
 
 // transportPkgRe matches the real-UDP transport, which is additionally
 // subject to nowalltime: its wall-clock access must sit behind the Clock

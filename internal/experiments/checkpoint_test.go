@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/snap"
+)
+
+// Checkpoint/resume contract (a) of ISSUE 9: run-straight ≡
+// checkpoint-then-resume, byte-identical renders, on the single-heap
+// reference and sharded-{1,4,8} executors, resumed from multiple distinct
+// barrier checkpoints. The scale is deliberately small — the property does
+// not depend on it.
+
+// ckptOpts is the base sweep every checkpoint test runs.
+func ckptOpts(shards int, churn float64) MetroOptions {
+	return MetroOptions{
+		Sectors: 4, FlowCounts: []int{16}, Duration: 2 * time.Second,
+		Shards: shards, Tech: cellular.TechLTE, HandoverScale: 0.05,
+		ChurnFrac: churn, Seed: 123, Parallel: 1,
+	}
+}
+
+// runCheckpointed runs the sweep with checkpointing at `every`, copying the
+// checkpoint file aside at each write so tests can resume from any barrier.
+func runCheckpointed(t *testing.T, opts MetroOptions, every time.Duration) (render string, copies []string) {
+	t.Helper()
+	dir := t.TempDir()
+	opts.CheckpointPath = filepath.Join(dir, "snap.bin")
+	opts.CheckpointEvery = every
+	opts.CheckpointHook = func(ordinal int, path string) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("checkpoint %d unreadable: %v", ordinal, err)
+		}
+		cp := filepath.Join(dir, fmt.Sprintf("snap-%03d.bin", ordinal))
+		if err := os.WriteFile(cp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, cp)
+	}
+	res, err := Metro(opts)
+	if err != nil {
+		t.Fatalf("checkpointed sweep: %v", err)
+	}
+	return res.Render(), copies
+}
+
+func TestMetroCheckpointResumeEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		shards  int
+		churn   float64
+		every   time.Duration
+		resumes int // how many saved barriers to resume from
+	}{
+		{"singleheap", 0, 0, 500 * time.Millisecond, 3},
+		{"sharded1", 1, 0, 600 * time.Millisecond, 1},
+		{"sharded4", 4, 0, 500 * time.Millisecond, 3},
+		{"sharded8", 8, 0, 700 * time.Millisecond, 1},
+		{"sharded4-churn", 4, 0.5, 500 * time.Millisecond, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := ckptOpts(tc.shards, tc.churn)
+			straight, err := Metro(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := straight.Render()
+
+			got, copies := runCheckpointed(t, opts, tc.every)
+			if got != want {
+				t.Errorf("checkpointed sweep render diverges from straight run:\n-- straight --\n%s\n-- checkpointed --\n%s", want, got)
+			}
+			if len(copies) < 3 {
+				t.Fatalf("sweep wrote %d checkpoints, want >= 3 distinct barriers", len(copies))
+			}
+
+			// Resume from distinct barriers: the first checkpoint, the last,
+			// and one in the middle.
+			picks := []int{0, len(copies) / 2, len(copies) - 1}[:tc.resumes]
+			if tc.resumes == 1 {
+				picks = []int{len(copies) / 2}
+			}
+			for _, i := range picks {
+				rs := opts
+				rs.ResumeFrom = copies[i]
+				res, err := Metro(rs)
+				if err != nil {
+					t.Fatalf("resume from %s: %v", copies[i], err)
+				}
+				if r := res.Render(); r != want {
+					t.Errorf("resume from checkpoint %d diverges from straight run:\n-- straight --\n%s\n-- resumed --\n%s", i+1, want, r)
+				}
+			}
+		})
+	}
+}
+
+// TestMetroCheckpointPoolConservation is the metro side of the pool
+// property: the mesh-wide PoolStats survive snapshot→restore exactly, so a
+// resumed trial keeps the leak-conservation identity the pooled packet path
+// is audited by.
+func TestMetroCheckpointPoolConservation(t *testing.T) {
+	opts := ckptOpts(4, 0)
+	m := metroBuild(opts, metroProtocols()[0], 16, 123)
+	m.runTo(time.Second)
+	before := m.mesh.PoolStats()
+	if before.Live() == 0 {
+		t.Fatal("mid-run barrier has no live packets; the property would be vacuous")
+	}
+	e := snap.NewEncoder()
+	m.Snapshot(e)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.Encode(snap.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := snap.Decode(blob, snap.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := metroBuild(opts, metroProtocols()[0], 16, 123)
+	r.Restore(d)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.mesh.PoolStats(); after != before {
+		t.Fatalf("mesh pool stats not conserved through restore: %+v -> %+v", before, after)
+	}
+	m.runTo(opts.Duration)
+	r.runTo(opts.Duration)
+	if got, want := r.mesh.PoolStats(), m.mesh.PoolStats(); got != want {
+		t.Fatalf("post-restore mesh pool stats diverge: restored %+v, straight %+v", got, want)
+	}
+	if netsim.PoolDebug {
+		t.Log("pooldebug poisoning armed through restore")
+	}
+}
+
+// TestMetroCheckpointFailClosed pins the fail-closed contract: a truncated,
+// corrupted, wrong-version, mismatched-config, or absent snapshot file must
+// fail the resume with an error before any trial state is touched — never a
+// partial resume.
+func TestMetroCheckpointFailClosed(t *testing.T) {
+	opts := ckptOpts(4, 0)
+	_, copies := runCheckpointed(t, opts, 500*time.Millisecond)
+	valid, err := os.ReadFile(copies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	truncated := write("truncated.bin", valid[:len(valid)-10])
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0x40
+	corruptedPath := write("corrupted.bin", corrupted)
+	garbage := write("garbage.bin", []byte("not a snapshot at all"))
+
+	wrongVer := filepath.Join(dir, "wrongver.bin")
+	e := snap.NewEncoder()
+	e.Tag("metro")
+	if err := snap.WriteFile(wrongVer, e, snap.Version+1); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*MetroOptions)
+		want string
+	}{
+		{"truncated", func(o *MetroOptions) { o.ResumeFrom = truncated }, ""},
+		{"corrupted", func(o *MetroOptions) { o.ResumeFrom = corruptedPath }, ""},
+		{"garbage", func(o *MetroOptions) { o.ResumeFrom = garbage }, ""},
+		{"missing", func(o *MetroOptions) { o.ResumeFrom = filepath.Join(dir, "nope.bin") }, ""},
+		{"wrong-version", func(o *MetroOptions) { o.ResumeFrom = wrongVer }, "version"},
+		{"config-mismatch-seed", func(o *MetroOptions) { o.ResumeFrom = copies[0]; o.Seed = 999 }, "different metro configuration"},
+		{"config-mismatch-duration", func(o *MetroOptions) { o.ResumeFrom = copies[0]; o.Duration = 3 * time.Second }, "different metro configuration"},
+		{"config-mismatch-sectors", func(o *MetroOptions) { o.ResumeFrom = copies[0]; o.Sectors = 8 }, "different metro configuration"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := ckptOpts(4, 0)
+			tc.mut(&o)
+			res, err := Metro(o)
+			if err == nil {
+				t.Fatal("resume from a bad snapshot succeeded")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if len(res.Points) != 0 {
+				t.Fatalf("failed resume still produced %d points — partial resume", len(res.Points))
+			}
+		})
+	}
+}
+
+// TestMetroCheckpointResumeAdoptsTopology pins the "the snapshot fixes the
+// topology" contract: Shards and ChurnFrac come from the checkpoint file on
+// resume, so a resume launched without restating them still reproduces the
+// interrupted run byte-for-byte.
+func TestMetroCheckpointResumeAdoptsTopology(t *testing.T) {
+	opts := ckptOpts(4, 0.5)
+	straight, err := Metro(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := straight.Render()
+	_, copies := runCheckpointed(t, opts, 600*time.Millisecond)
+
+	rs := ckptOpts(0, 0) // wrong shards/churn on purpose: the file overrides
+	rs.ResumeFrom = copies[len(copies)/2]
+	res, err := Metro(rs)
+	if err != nil {
+		t.Fatalf("resume without restating shards/churn: %v", err)
+	}
+	if r := res.Render(); r != want {
+		t.Errorf("resume with adopted topology diverges from straight run:\n-- straight --\n%s\n-- resumed --\n%s", want, r)
+	}
+}
+
+// TestMetroCheckpointOptionValidation covers the option-combination surface
+// Metro rejects before running anything.
+func TestMetroCheckpointOptionValidation(t *testing.T) {
+	bad := []func(*MetroOptions){
+		func(o *MetroOptions) { o.CheckpointEvery = -time.Second },
+		func(o *MetroOptions) { o.CheckpointEvery = time.Second }, // no path
+		func(o *MetroOptions) { o.CheckpointPath = "x.bin" },      // no interval
+	}
+	for i, mut := range bad {
+		o := ckptOpts(0, 0)
+		mut(&o)
+		if _, err := Metro(o); err == nil {
+			t.Errorf("case %d: invalid checkpoint options accepted", i)
+		}
+	}
+}
+
+// TestMetroCheckpointObservability pins satellite 3: a checkpointed +
+// resumed sweep emits CheckpointWrite/CheckpointRestore events that survive
+// the strict exporter re-parsers, and registers the checkpoint metrics.
+func TestMetroCheckpointObservability(t *testing.T) {
+	// A small instrumented sweep emits ~200k events; size the ring to hold
+	// the checkpointed run plus the resume so barrier events are not evicted.
+	o := obs.NewObserver(obs.NewTracer(1<<19), obs.NewRegistry())
+	opts := ckptOpts(0, 0)
+	opts.Obs = o
+	_, copies := runCheckpointed(t, opts, 500*time.Millisecond)
+	rs := opts
+	rs.ResumeFrom = copies[len(copies)/2]
+	if _, err := Metro(rs); err != nil {
+		t.Fatal(err)
+	}
+	var writes, restores int
+	for _, ev := range o.Tracer().Snapshot() {
+		switch ev.Kind {
+		case obs.KindCheckpointWrite:
+			writes++
+			if ev.V0 <= 0 || ev.V1 <= 0 || ev.V2 <= 0 {
+				t.Errorf("ckpt.write event with non-positive fields: %+v", ev)
+			}
+		case obs.KindCheckpointRestore:
+			restores++
+			if ev.V0 <= 0 || ev.V1 <= 0 {
+				t.Errorf("ckpt.restore event with non-positive fields: %+v", ev)
+			}
+		}
+	}
+	if writes == 0 || restores == 0 {
+		t.Fatalf("tracer saw %d ckpt.write and %d ckpt.restore events; instrumentation is not wired", writes, restores)
+	}
+
+	// Strict re-parse of every export with the new kinds present.
+	events := o.Tracer().Snapshot()
+	var jsonl strings.Builder
+	if err := obs.WriteJSONL(&jsonl, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadJSONL(strings.NewReader(jsonl.String()))
+	if err != nil {
+		t.Fatalf("JSONL with checkpoint kinds does not re-parse: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("JSONL round trip lost events: %d != %d", len(back), len(events))
+	}
+	var chrome strings.Builder
+	if err := obs.WriteChromeTrace(&chrome, events); err != nil {
+		t.Fatalf("Chrome trace with checkpoint kinds: %v", err)
+	}
+	var prom strings.Builder
+	if err := obs.WritePrometheus(&prom, o.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := obs.ParsePrometheus(strings.NewReader(prom.String()))
+	if err != nil {
+		t.Fatalf("exposition with checkpoint metrics does not re-parse: %v", err)
+	}
+	for _, name := range []string{"ckpt_writes_total", "ckpt_restores_total", "ckpt_snapshot_bytes", "ckpt_barrier_seconds"} {
+		if _, ok := pm.Values[name]; !ok {
+			t.Errorf("metrics exposition missing %s", name)
+		}
+	}
+}

@@ -134,10 +134,13 @@ const goldenDigestPath = "testdata/golden_digests.txt"
 //	go test ./internal/experiments -run TestGoldenReferenceDigests -update-golden
 func TestGoldenReferenceDigests(t *testing.T) {
 	got := make(map[string]string)
+	renders := make(map[string]string)
 	var order []string
 	for _, tc := range goldenCases(nil) {
-		sum := sha256.Sum256([]byte(tc.render(8)))
+		r := tc.render(8)
+		sum := sha256.Sum256([]byte(r))
 		got[tc.name] = fmt.Sprintf("%x", sum)
+		renders[tc.name] = r
 		order = append(order, tc.name)
 	}
 	if *updateGolden {
@@ -155,6 +158,7 @@ func TestGoldenReferenceDigests(t *testing.T) {
 		return
 	}
 	want := readGoldenDigests(t)
+	var mismatched []string
 	for _, name := range order {
 		w, ok := want[name]
 		if !ok {
@@ -164,7 +168,11 @@ func TestGoldenReferenceDigests(t *testing.T) {
 		if got[name] != w {
 			t.Errorf("%s: render digest %s != committed %s — output changed from the pre-optimization reference",
 				name, got[name][:16], w[:16])
+			mismatched = append(mismatched, name)
 		}
+	}
+	if len(mismatched) > 0 {
+		writeGoldenFailureArtifacts(t, mismatched, renders, got, want)
 	}
 	// Stale entries signal a renamed/removed harness whose digest should go.
 	var stale []string
@@ -177,6 +185,32 @@ func TestGoldenReferenceDigests(t *testing.T) {
 	for _, name := range stale {
 		t.Errorf("%s: committed digest has no matching golden case", name)
 	}
+}
+
+// goldenFailureDir is where a digest mismatch dumps its evidence: the full
+// rendered figure for every mismatching case plus a digest diff. CI uploads
+// the directory as an artifact, so a red golden run can be diagnosed without
+// reproducing it locally.
+const goldenFailureDir = "golden-failure"
+
+func writeGoldenFailureArtifacts(t *testing.T, mismatched []string, renders, got, want map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(goldenFailureDir, 0o755); err != nil {
+		t.Logf("golden-failure artifacts: %v", err)
+		return
+	}
+	var diff strings.Builder
+	for _, name := range mismatched {
+		fmt.Fprintf(&diff, "%s\n  committed %s\n  computed  %s\n", name, want[name], got[name])
+		file := filepath.Join(goldenFailureDir, name+".txt")
+		if err := os.WriteFile(file, []byte(renders[name]), 0o644); err != nil {
+			t.Logf("golden-failure artifacts: %v", err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(goldenFailureDir, "digest-diff.txt"), []byte(diff.String()), 0o644); err != nil {
+		t.Logf("golden-failure artifacts: %v", err)
+	}
+	t.Logf("wrote mismatching renders and digest diff to %s/ for artifact upload", goldenFailureDir)
 }
 
 func readGoldenDigests(t *testing.T) map[string]string {

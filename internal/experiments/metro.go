@@ -8,6 +8,7 @@ import (
 	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/snap"
 	"repro/internal/stats"
 )
 
@@ -53,6 +54,26 @@ type MetroOptions struct {
 	Parallel int
 	// Obs, when non-nil, instruments every sector link and the mesh itself.
 	Obs *obs.Observer
+
+	// CheckpointEvery, when positive, runs the sweep serially (Parallel is
+	// ignored) and writes a versioned snapshot of the in-flight trial to
+	// CheckpointPath at every CheckpointEvery of virtual time — each write
+	// lands at a mesh lookahead barrier, where the executors are quiescent.
+	// Requires CheckpointPath. The segmented runs render byte-identically to
+	// an uncheckpointed sweep (the PR 6 segmentation property).
+	CheckpointEvery time.Duration
+	// CheckpointPath is the snapshot file; each write atomically replaces it.
+	CheckpointPath string
+	// ResumeFrom, when set, restores the sweep from a snapshot file and runs
+	// it to completion. The other options must match the checkpointed
+	// configuration exactly — the file carries a config echo that is
+	// cross-checked on open, and any mismatch (or a truncated, corrupted, or
+	// wrong-version file) fails closed before any state is touched.
+	ResumeFrom string
+	// CheckpointHook, when non-nil, runs after each successful checkpoint
+	// write. It exists for crash injection: the SIGKILL harness kills the
+	// process from inside the hook and then resumes from the file.
+	CheckpointHook func(ordinal int, path string)
 }
 
 // pool returns the trial executor for these options.
@@ -160,6 +181,18 @@ func Metro(opts MetroOptions) (MetroResult, error) {
 	if opts.ChurnFrac < 0 || opts.ChurnFrac > 1 {
 		return MetroResult{}, fmt.Errorf("experiments: metro churn fraction %v outside [0, 1]", opts.ChurnFrac)
 	}
+	if opts.CheckpointEvery < 0 {
+		return MetroResult{}, fmt.Errorf("experiments: metro checkpoint interval %v must not be negative", opts.CheckpointEvery)
+	}
+	if opts.CheckpointEvery > 0 && opts.CheckpointPath == "" {
+		return MetroResult{}, fmt.Errorf("experiments: metro CheckpointEvery set without a CheckpointPath")
+	}
+	if opts.CheckpointPath != "" && opts.CheckpointEvery <= 0 {
+		return MetroResult{}, fmt.Errorf("experiments: metro CheckpointPath set without a CheckpointEvery interval")
+	}
+	if opts.CheckpointPath != "" || opts.ResumeFrom != "" {
+		return metroCheckpointed(opts)
+	}
 	out := MetroResult{Sectors: opts.Sectors, Duration: opts.Duration, Tech: opts.Tech}
 	protos := metroProtocols()
 	var jobs []runner.Job[MetroPoint]
@@ -179,10 +212,94 @@ func Metro(opts MetroOptions) (MetroResult, error) {
 	return out, nil
 }
 
-// metroTrial builds and runs one full metro simulation: the cellular
-// topology, the mesh, per-sector bottlenecks, per-user flows and handover
-// routing — then collects the point.
-func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
+// The routing fabric is three persistent receivers per sector — home
+// delivery, link egress, and the detour bounce — so packets cross the mesh
+// without boxing per-packet closures (the pooled zero-alloc path). They are
+// pointer types, not ReceiverFunc closures, because checkpointing requires
+// comparable receivers: a pending delivery serializes as the receiver's
+// registry id (DESIGN.md §15).
+
+// metroHomeRecv hands a packet to its flow's sink on the home timeline,
+// honoring any active handover stall by deferring to the release instant
+// (the stall-then-burst delivery signature).
+type metroHomeRecv struct {
+	sim    *netsim.Sim
+	states []*metroUserState
+}
+
+// Receive implements netsim.Receiver.
+func (r *metroHomeRecv) Receive(p *netsim.Packet) {
+	st := r.states[p.Flow]
+	if now := r.sim.Now(); now < st.stallUntil {
+		r.sim.SchedulePacketAfter(st.stallUntil-now, st.sink, p)
+		return
+	}
+	st.sink.Receive(p)
+}
+
+// metroBounce runs on the serving sector's timeline and sends the packet
+// back to its home cell; home is immutable per flow, so reading it from
+// another cell's timeline is safe under sharding.
+type metroBounce struct {
+	s      int
+	mesh   *netsim.Mesh
+	delay  time.Duration
+	states []*metroUserState
+	home   []*metroHomeRecv
+}
+
+// Receive implements netsim.Receiver.
+func (b *metroBounce) Receive(p *netsim.Packet) {
+	st := b.states[p.Flow]
+	b.mesh.SendPacket(b.s, st.home, b.delay, b.home[st.home], p)
+}
+
+// metroLinkRecv is the sector link's egress: home-cell delivery for users
+// still served here, or the detour for handed-over users — one backhaul hop
+// to the serving sector and one back, both riding the mesh's lookahead
+// channels, which is what makes handovers cross-shard traffic.
+type metroLinkRecv struct {
+	s      int
+	mesh   *netsim.Mesh
+	delay  time.Duration
+	states []*metroUserState
+	home   []*metroHomeRecv
+	bounce []*metroBounce
+}
+
+// Receive implements netsim.Receiver.
+func (r *metroLinkRecv) Receive(p *netsim.Packet) {
+	st := r.states[p.Flow]
+	if st.cur == r.s {
+		r.home[r.s].Receive(p)
+		return
+	}
+	r.mesh.SendPacket(r.s, st.cur, r.delay, r.bounce[st.cur], p)
+}
+
+// metroSim is one fully built metro trial: the mesh, the per-sector
+// bottlenecks, and the per-user flow state. Splitting construction from
+// execution is what checkpointing needs — a restore re-runs metroBuild (same
+// options, same seed) and then overlays the snapshot.
+type metroSim struct {
+	opts            MetroOptions
+	mk              Maker
+	flows           int
+	seed            int64
+	topo            *cellular.Metro
+	mesh            *netsim.Mesh
+	states          []*metroUserState
+	metrics         []*netsim.FlowMetrics
+	sources         []*netsim.Source
+	handoversByCell []int64
+	links           []*netsim.TraceLink
+}
+
+// metroBuild constructs one full metro simulation: the cellular topology,
+// the mesh, per-sector bottlenecks, per-user flows and handover routing.
+// Construction is a pure function of (opts, mk, flows, seed); the rebuild
+// half of a restore depends on that.
+func metroBuild(opts MetroOptions, mk Maker, flows int, seed int64) *metroSim {
 	topo, err := cellular.NewMetro(cellular.MetroConfig{
 		Sectors:       opts.Sectors,
 		Users:         flows,
@@ -200,67 +317,50 @@ func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
 	mesh := netsim.NewMesh(opts.Sectors, topo.NeighborDelay)
 	mesh.Instrument(opts.Obs, seed)
 
-	states := make([]*metroUserState, flows)
-	metrics := make([]*netsim.FlowMetrics, flows)
-	// Handover counts are kept per home cell — each slot is written only from
-	// that cell's timeline, so sharded execution stays race-free — and summed
-	// after the run.
-	handoversByCell := make([]int64, opts.Sectors)
-	links := make([]*netsim.TraceLink, opts.Sectors)
-	// The routing fabric is three persistent receivers per sector — home
-	// delivery, link egress, and the detour bounce — so packets cross the
-	// mesh without boxing per-packet closures (the pooled zero-alloc path).
-	homeRecv := make([]netsim.ReceiverFunc, opts.Sectors)
-	bounce := make([]netsim.ReceiverFunc, opts.Sectors)
+	m := &metroSim{
+		opts:    opts,
+		mk:      mk,
+		flows:   flows,
+		seed:    seed,
+		topo:    topo,
+		mesh:    mesh,
+		states:  make([]*metroUserState, flows),
+		metrics: make([]*netsim.FlowMetrics, flows),
+		sources: make([]*netsim.Source, flows),
+		// Handover counts are kept per home cell — each slot is written only
+		// from that cell's timeline, so sharded execution stays race-free —
+		// and summed after the run.
+		handoversByCell: make([]int64, opts.Sectors),
+		links:           make([]*netsim.TraceLink, opts.Sectors),
+	}
+	home := make([]*metroHomeRecv, opts.Sectors)
+	bounce := make([]*metroBounce, opts.Sectors)
 	for s := 0; s < opts.Sectors; s++ {
-		s := s
-		sim := mesh.Cell(s)
-		// homeRecv hands a packet to its flow's sink on the home timeline,
-		// honoring any active handover stall by deferring to the release
-		// instant (the stall-then-burst delivery signature).
-		homeRecv[s] = func(p *netsim.Packet) {
-			st := states[p.Flow]
-			if now := sim.Now(); now < st.stallUntil {
-				sim.SchedulePacketAfter(st.stallUntil-now, st.sink, p)
-				return
-			}
-			st.sink.Receive(p)
-		}
-		// bounce runs on the serving sector's timeline and sends the packet
-		// back to its home cell; home is immutable per flow, so reading it
-		// from another cell's timeline is safe under sharding.
-		bounce[s] = func(p *netsim.Packet) {
-			st := states[p.Flow]
-			mesh.SendPacket(s, st.home, topo.NeighborDelay, homeRecv[st.home], p)
-		}
+		home[s] = &metroHomeRecv{sim: mesh.Cell(s), states: m.states}
+		mesh.Cell(s).RegisterReceiver(home[s])
 	}
 	for s := 0; s < opts.Sectors; s++ {
-		s := s
+		bounce[s] = &metroBounce{s: s, mesh: mesh, delay: topo.NeighborDelay,
+			states: m.states, home: home}
+		mesh.Cell(s).RegisterReceiver(bounce[s])
+	}
+	for s := 0; s < opts.Sectors; s++ {
 		sim := mesh.Cell(s)
-		recv := netsim.ReceiverFunc(func(p *netsim.Packet) {
-			st := states[p.Flow]
-			if st.cur == s {
-				homeRecv[s](p)
-				return
-			}
-			// Handed-over user: the packet detours via the serving sector —
-			// one backhaul hop out, one back — before the home-cell sink
-			// acknowledges it. Both hops ride the mesh's lookahead channels,
-			// which is what makes handovers cross-shard traffic.
-			mesh.SendPacket(s, st.cur, topo.NeighborDelay, bounce[st.cur], p)
-		})
+		recv := &metroLinkRecv{s: s, mesh: mesh, delay: topo.NeighborDelay,
+			states: m.states, home: home, bounce: bounce}
+		sim.RegisterReceiver(recv)
 		model := cellular.NewModel(topo.Sectors[s].Channel)
 		tr := model.Trace(opts.Duration)
-		links[s] = netsim.NewTraceLink(sim, netsim.NewDropTail(bloatBytes), tr,
+		m.links[s] = netsim.NewTraceLink(sim, netsim.NewDropTail(bloatBytes), tr,
 			10*time.Millisecond, recv, true, topo.Sectors[s].Channel.Seed+1)
-		links[s].Instrument(opts.Obs, seed)
+		m.links[s].Instrument(opts.Obs, seed)
 	}
 	for _, users := range topo.UsersBySector() {
 		for _, ui := range users {
 			u := topo.Users[ui]
 			sim := mesh.Cell(u.Home)
 			st := &metroUserState{home: u.Home, cur: u.Home}
-			states[u.ID] = st
+			m.states[u.ID] = st
 			ctrl := mk.New()
 			observe(opts.Obs, ctrl, seed, u.ID)
 			// Stagger starts so thousands of flows do not slow-start in
@@ -274,49 +374,136 @@ func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
 			if stop > 0 {
 				stop += stagger
 			}
-			src, fm := netsim.NewSource(sim, u.ID, ctrl, links[u.Home], MTU,
+			src, fm := netsim.NewSource(sim, u.ID, ctrl, m.links[u.Home], MTU,
 				10*time.Millisecond, start, stop)
 			st.sink = src.Sink()
-			metrics[u.ID] = fm
+			m.sources[u.ID] = src
+			m.metrics[u.ID] = fm
 			for _, h := range u.Handovers {
 				h := h
 				home := u.Home
-				sim.Schedule(h.At, func() {
+				sim.ScheduleTracked(h.At, func() {
 					st.cur = h.To
 					st.stallUntil = h.At + h.Stall
-					handoversByCell[home]++
+					m.handoversByCell[home]++
 				})
 			}
 		}
 	}
+	return m
+}
 
-	if opts.Shards > 0 {
-		mesh.RunSharded(opts.Duration, opts.Shards)
+// runTo advances the trial to the given virtual time on the options'
+// executor. Segmented calls are equivalent to one straight run, and each
+// return lands at a quiescent mesh barrier — the only place a snapshot is
+// valid.
+func (m *metroSim) runTo(until time.Duration) {
+	if m.opts.Shards > 0 {
+		m.mesh.RunSharded(until, m.opts.Shards)
 	} else {
-		mesh.RunSingle(opts.Duration)
+		m.mesh.RunSingle(until)
 	}
+}
 
+// collect renders the finished trial into its sweep point.
+func (m *metroSim) collect() MetroPoint {
 	var handovers int64
-	for _, n := range handoversByCell {
+	for _, n := range m.handoversByCell {
 		handovers += n
 	}
-	pt := MetroPoint{Protocol: mk.Name, Flows: flows, Handovers: handovers, CrossMsgs: mesh.CrossDelivered()}
+	pt := MetroPoint{Protocol: m.mk.Name, Flows: m.flows, Handovers: handovers, CrossMsgs: m.mesh.CrossDelivered()}
 	delay := stats.NewSummary(4096)
-	perCell := make([][]float64, opts.Sectors)
-	for _, u := range topo.Users {
-		fm := metrics[u.ID]
-		mbps := fm.MeanMbps(opts.Duration)
+	perCell := make([][]float64, m.opts.Sectors)
+	for _, u := range m.topo.Users {
+		fm := m.metrics[u.ID]
+		mbps := fm.MeanMbps(m.opts.Duration)
 		pt.AggMbps += mbps
 		perCell[u.Home] = append(perCell[u.Home], mbps)
 		delay.Merge(fm.Delay)
 	}
-	for s := 0; s < opts.Sectors; s++ {
+	for s := 0; s < m.opts.Sectors; s++ {
 		pt.CellJain = append(pt.CellJain, stats.JainIndex(perCell[s]))
 	}
 	for _, q := range metroCDFQuantiles {
 		pt.DelayQuantiles = append(pt.DelayQuantiles, delay.Percentile(q))
 	}
 	return pt
+}
+
+// Snapshot implements snap.Snapshotter at a mesh barrier: mesh and cell core
+// state first, then every component in construction order, then the heaps —
+// mirroring the two-phase restore.
+func (m *metroSim) Snapshot(e *snap.Encoder) {
+	e.Tag("metrotrial")
+	m.mesh.Snapshot(e)
+	for _, l := range m.links {
+		l.Snapshot(e)
+		if e.Err() != nil {
+			return
+		}
+	}
+	for id := 0; id < m.flows; id++ {
+		st := m.states[id]
+		e.Int(st.cur)
+		e.Dur(st.stallUntil)
+		m.sources[id].Snapshot(e)
+		if e.Err() != nil {
+			return
+		}
+	}
+	e.I64s(m.handoversByCell)
+	m.mesh.SnapshotHeaps(e)
+}
+
+// Restore implements snap.Snapshotter over a freshly rebuilt trial.
+func (m *metroSim) Restore(d *snap.Decoder) {
+	d.Expect("metrotrial")
+	m.mesh.Restore(d)
+	if d.Err() != nil {
+		return
+	}
+	for _, l := range m.links {
+		l.Restore(d)
+		if d.Err() != nil {
+			return
+		}
+	}
+	for id := 0; id < m.flows; id++ {
+		st := m.states[id]
+		cur := d.Int()
+		stall := d.Dur()
+		if d.Err() != nil {
+			return
+		}
+		if cur < 0 || cur >= m.opts.Sectors {
+			d.Fail(fmt.Errorf("experiments: flow %d checkpointed on sector %d of %d", id, cur, m.opts.Sectors))
+			return
+		}
+		st.cur = cur
+		st.stallUntil = stall
+		m.sources[id].Restore(d)
+		if d.Err() != nil {
+			return
+		}
+	}
+	hc := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if len(hc) != len(m.handoversByCell) {
+		d.Fail(fmt.Errorf("experiments: checkpoint has %d handover cells, rebuild has %d", len(hc), len(m.handoversByCell)))
+		return
+	}
+	copy(m.handoversByCell, hc)
+	m.mesh.RestoreHeaps(d)
+}
+
+// metroTrial builds and runs one full metro trial straight through — the
+// runner.Map path.
+func metroTrial(opts MetroOptions, mk Maker, flows int, seed int64) MetroPoint {
+	m := metroBuild(opts, mk, flows, seed)
+	m.runTo(opts.Duration)
+	return m.collect()
 }
 
 // Render prints the sweep as three figures: the headline

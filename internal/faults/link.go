@@ -1,11 +1,13 @@
 package faults
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/snap"
 )
 
 // Link decorates a netsim.Link with a fault Plan. It interposes on both
@@ -23,6 +25,9 @@ type Link struct {
 	dst   netsim.Receiver
 	plan  *Plan
 	rng   *rand.Rand
+	// src is the counting source behind rng, making the impairment-draw
+	// stream position checkpointable.
+	src *snap.Source
 
 	inOutage bool
 	inStall  bool
@@ -30,8 +35,14 @@ type Link struct {
 	held     []*netsim.Packet
 
 	// reorderRecv is the one receiver reused for every reordered packet's
-	// re-arrival, so reordering schedules no closures.
-	reorderRecv netsim.Receiver
+	// re-arrival, so reordering schedules no closures. It is a pointer type
+	// (not a ReceiverFunc) so pending re-arrivals can checkpoint by id.
+	reorderRecv *reorderTap
+
+	// endOutageID/endStallID are the registry ids of the window-end
+	// callbacks, registered at Wrap so the pending end events checkpoint.
+	endOutageID int64
+	endStallID  int64
 
 	// passive is fixed at Wrap: the plan has no per-packet stochastic
 	// impairment, so deliveries outside event windows never touch the RNG.
@@ -80,33 +91,53 @@ func Wrap(sim *netsim.Sim, plan *Plan, seed int64, dst netsim.Receiver, mk func(
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
+	src := snap.NewSource(seed)
 	l := &Link{
 		sim:  sim,
 		dst:  dst,
 		plan: plan,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rand.New(src),
+		src:  src,
 	}
 	l.passive = plan == nil || (plan.Loss == nil &&
 		plan.CorruptProb == 0 && plan.DupProb == 0 && plan.ReorderProb == 0)
 	l.fast = l.passive
-	l.reorderRecv = netsim.ReceiverFunc(func(p *netsim.Packet) {
-		l.ReorderPending--
-		l.arrive(p)
-	})
-	l.inner = mk(netsim.ReceiverFunc(l.egress))
+	l.reorderRecv = &reorderTap{l: l}
+	sim.RegisterReceiver(l.reorderRecv)
+	tap := &egressTap{l: l}
+	sim.RegisterReceiver(tap)
+	l.inner = mk(tap)
+	l.endOutageID = sim.RegisterFunc(l.endOutage)
+	l.endStallID = sim.RegisterFunc(l.endStall)
 	if plan != nil {
 		base := sim.Now()
 		for _, ev := range plan.Events {
 			ev := ev
 			switch ev.Kind {
 			case Outage:
-				sim.Schedule(base+ev.At, func() { l.startOutage(ev.Dur) })
+				sim.ScheduleTracked(base+ev.At, func() { l.startOutage(ev.Dur) })
 			case Handover:
-				sim.Schedule(base+ev.At, func() { l.startStall(ev.Dur) })
+				sim.ScheduleTracked(base+ev.At, func() { l.startStall(ev.Dur) })
 			}
 		}
 	}
 	return l
+}
+
+// egressTap is the receiver interposed between the inner link and the
+// impairments; a pointer type so pending propagation deliveries checkpoint.
+type egressTap struct{ l *Link }
+
+// Receive implements netsim.Receiver.
+func (t *egressTap) Receive(p *netsim.Packet) { t.l.egress(p) }
+
+// reorderTap re-delivers a reordered packet after its extra delay.
+type reorderTap struct{ l *Link }
+
+// Receive implements netsim.Receiver.
+func (t *reorderTap) Receive(p *netsim.Packet) {
+	t.l.ReorderPending--
+	t.l.arrive(p)
 }
 
 // Inner returns the wrapped link (for instrumentation: TraceLink counters,
@@ -257,30 +288,104 @@ func (l *Link) startOutage(dur time.Duration) {
 		l.held = l.held[:0]
 	}
 	l.emitFault(obs.KindFaultBegin, "outage", dur.Seconds(), drained)
-	l.sim.After(dur, func() {
-		l.inOutage = false
-		l.updateFast()
-		l.emitFault(obs.KindFaultEnd, "outage", 0, 0)
-	})
+	l.sim.AfterRegistered(dur, l.endOutageID)
+}
+
+// endOutage restores service when an outage window closes.
+func (l *Link) endOutage() {
+	l.inOutage = false
+	l.updateFast()
+	l.emitFault(obs.KindFaultEnd, "outage", 0, 0)
 }
 
 func (l *Link) startStall(dur time.Duration) {
 	l.inStall = true
 	l.updateFast()
 	l.emitFault(obs.KindFaultBegin, "handover", dur.Seconds(), 0)
-	l.sim.After(dur, func() {
-		l.inStall = false
-		l.updateFast()
-		// Burst-release: the handover completes and the target cell drains
-		// the forwarded buffer back-to-back. Released packets still face
-		// the stochastic impairments — they cross the air interface now.
-		held := l.held
-		l.held = nil
-		l.Held -= int64(len(held))
-		l.Released += int64(len(held))
-		l.emitFault(obs.KindFaultEnd, "handover", float64(len(held)), 0)
-		for _, p := range held {
-			l.deliver(p)
+	l.sim.AfterRegistered(dur, l.endStallID)
+}
+
+// endStall completes a handover: the stall lifts and the held buffer is
+// burst-released. Released packets still face the stochastic impairments —
+// they cross the air interface now.
+func (l *Link) endStall() {
+	l.inStall = false
+	l.updateFast()
+	held := l.held
+	l.held = nil
+	l.Held -= int64(len(held))
+	l.Released += int64(len(held))
+	l.emitFault(obs.KindFaultEnd, "handover", float64(len(held)), 0)
+	for _, p := range held {
+		l.deliver(p)
+	}
+}
+
+// Snapshot implements snap.Snapshotter: the fault flags, the Gilbert-Elliott
+// chain state, the impairment RNG position, the held (stalled) packets, the
+// counter ledger, and the wrapped inner link. The pending window-begin and
+// window-end events are restored with the heap.
+func (l *Link) Snapshot(e *snap.Encoder) {
+	e.Tag("faultlink")
+	inner, ok := l.inner.(snap.Snapshotter)
+	if !ok {
+		e.Fail(fmt.Errorf("faults: inner link %T is not checkpointable", l.inner))
+		return
+	}
+	e.Bool(l.inOutage)
+	e.Bool(l.inStall)
+	e.Bool(l.geBad)
+	l.src.Snapshot(e)
+	e.U32(uint32(len(l.held)))
+	for _, p := range l.held {
+		netsim.SnapshotPacket(e, p)
+	}
+	e.I64(l.SendDropped)
+	e.I64(l.QueueDrained)
+	e.I64(l.EgressDropped)
+	e.I64(l.BurstLost)
+	e.I64(l.Corrupted)
+	e.I64(l.Duplicated)
+	e.I64(l.Reordered)
+	e.I64(l.Released)
+	e.I64(l.Held)
+	e.I64(l.ReorderPending)
+	e.I64(l.Delivered)
+	inner.Snapshot(e)
+}
+
+// Restore implements snap.Snapshotter.
+func (l *Link) Restore(d *snap.Decoder) {
+	d.Expect("faultlink")
+	inner, ok := l.inner.(snap.Snapshotter)
+	if !ok {
+		d.Fail(fmt.Errorf("faults: inner link %T is not checkpointable", l.inner))
+		return
+	}
+	l.inOutage = d.Bool()
+	l.inStall = d.Bool()
+	l.geBad = d.Bool()
+	l.src.Restore(d)
+	n := int(d.U32())
+	l.held = l.held[:0]
+	for i := 0; i < n; i++ {
+		p := netsim.RestorePacket(d)
+		if d.Err() != nil {
+			return
 		}
-	})
+		l.held = append(l.held, p)
+	}
+	l.SendDropped = d.I64()
+	l.QueueDrained = d.I64()
+	l.EgressDropped = d.I64()
+	l.BurstLost = d.I64()
+	l.Corrupted = d.I64()
+	l.Duplicated = d.I64()
+	l.Reordered = d.I64()
+	l.Released = d.I64()
+	l.Held = d.I64()
+	l.ReorderPending = d.I64()
+	l.Delivered = d.I64()
+	inner.Restore(d)
+	l.updateFast()
 }

@@ -1,6 +1,10 @@
 package netsim
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/snap"
+)
 
 // CBR is a constant-bit-rate sender with an optional ON/OFF duty cycle — the
 // traffic generator behind the paper's §3 measurements (a UDP tool sending
@@ -20,6 +24,7 @@ type CBR struct {
 	nextSeq  int64
 	stopped  bool
 	runFn    func() // the one self-rescheduling callback, bound once
+	runID    int64  // runFn's registry id, so pending sends checkpoint
 }
 
 // NewCBR creates a constant-rate flow of rateMbps using mtu-sized packets,
@@ -46,13 +51,19 @@ func NewCBR(sim *Sim, flow int, link Link, mtu int, rateMbps float64,
 		offFor:   offFor,
 	}
 	c.sink = &Sink{sim: sim, metrics: m} // no src: CBR needs no ACKs
+	sim.RegisterReceiver(c.sink)
 	c.runFn = c.run
-	sim.Schedule(start, c.runFn)
+	c.runID = sim.RegisterFunc(c.runFn)
+	sim.scheduleTagged(start, c.runID, c.runFn)
 	if stop > 0 {
-		sim.Schedule(stop, func() { c.stopped = true })
+		haltID := sim.RegisterFunc(c.halt)
+		sim.scheduleTagged(stop, haltID, c.halt)
 	}
 	return c, m
 }
+
+// halt ends the flow; it is the registered form of the old stop closure.
+func (c *CBR) halt() { c.stopped = true }
 
 // Metrics returns the flow's metric sink.
 func (c *CBR) Metrics() *FlowMetrics { return c.metrics }
@@ -70,12 +81,12 @@ func (c *CBR) run() {
 		phase := c.sim.Now() % cycle
 		if phase >= c.onFor {
 			// In an OFF period: sleep until the next ON boundary.
-			c.sim.After(cycle-phase, c.runFn)
+			c.sim.afterTagged(cycle-phase, c.runID, c.runFn)
 			return
 		}
 	}
 	c.send()
-	c.sim.After(c.interval, c.runFn)
+	c.sim.afterTagged(c.interval, c.runID, c.runFn)
 }
 
 func (c *CBR) send() {
@@ -83,4 +94,22 @@ func (c *CBR) send() {
 	c.nextSeq++
 	c.metrics.Sent++
 	c.link.Send(p)
+}
+
+// Snapshot implements Snapshotter: sequence position, the stop flag, and the
+// flow's metrics. The pending send (or ON-boundary wakeup) event is restored
+// with the heap.
+func (c *CBR) Snapshot(e *snap.Encoder) {
+	e.Tag("cbr")
+	e.I64(c.nextSeq)
+	e.Bool(c.stopped)
+	c.metrics.Snapshot(e)
+}
+
+// Restore implements Snapshotter.
+func (c *CBR) Restore(d *snap.Decoder) {
+	d.Expect("cbr")
+	c.nextSeq = d.I64()
+	c.stopped = d.Bool()
+	c.metrics.Restore(d)
 }

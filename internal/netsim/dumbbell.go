@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/snap"
 )
 
 // Dispatcher routes packets leaving the shared bottleneck to per-flow sinks.
@@ -58,6 +60,10 @@ type Dumbbell struct {
 // used). defaultMTU applies to flows that do not override it.
 func NewDumbbell(sim *Sim, makeLink func(dst Receiver) Link, defaultMTU int, specs []FlowSpec) *Dumbbell {
 	d := &Dumbbell{Sim: sim, Dispatcher: NewDispatcher()}
+	// The dispatcher takes every bottleneck delivery, so it must be
+	// registered for pending deliveries to survive a checkpoint. Its routing
+	// table is static per topology and rebuilt, never serialized.
+	sim.RegisterReceiver(d.Dispatcher)
 	d.Link = makeLink(d.Dispatcher)
 	for i, spec := range specs {
 		mtu := defaultMTU
@@ -83,3 +89,55 @@ func NewDumbbell(sim *Sim, makeLink func(dst Receiver) Link, defaultMTU int, spe
 
 // Run advances the simulation to the given time.
 func (d *Dumbbell) Run(until time.Duration) { d.Sim.Run(until) }
+
+// Snapshot implements snap.Snapshotter: sim core, bottleneck, every flow (a
+// Source or CBR snapshot carries its metrics), then the event heap — the
+// order the two-phase restore depends on. The bottleneck link must itself be
+// a Snapshotter.
+func (d *Dumbbell) Snapshot(e *snap.Encoder) {
+	e.Tag("dumbbell")
+	d.Sim.SnapshotState(e)
+	l, ok := d.Link.(snap.Snapshotter)
+	if !ok {
+		e.Fail(fmt.Errorf("netsim: dumbbell bottleneck %T is not checkpointable", d.Link))
+		return
+	}
+	l.Snapshot(e)
+	for i := range d.Sources {
+		if d.Sources[i] != nil {
+			d.Sources[i].Snapshot(e)
+		} else {
+			d.CBRs[i].Snapshot(e)
+		}
+		if e.Err() != nil {
+			return
+		}
+	}
+	d.Sim.SnapshotHeap(e)
+}
+
+// Restore implements snap.Snapshotter over a freshly rebuilt dumbbell.
+func (d *Dumbbell) Restore(dec *snap.Decoder) {
+	dec.Expect("dumbbell")
+	d.Sim.RestoreState(dec)
+	if dec.Err() != nil {
+		return
+	}
+	l, ok := d.Link.(snap.Snapshotter)
+	if !ok {
+		dec.Fail(fmt.Errorf("netsim: dumbbell bottleneck %T is not checkpointable", d.Link))
+		return
+	}
+	l.Restore(dec)
+	for i := range d.Sources {
+		if d.Sources[i] != nil {
+			d.Sources[i].Restore(dec)
+		} else {
+			d.CBRs[i].Restore(dec)
+		}
+		if dec.Err() != nil {
+			return
+		}
+	}
+	d.Sim.RestoreHeap(dec)
+}

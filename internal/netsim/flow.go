@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/snap"
 	"repro/internal/stats"
 )
 
@@ -121,7 +123,16 @@ type Source struct {
 	stopTick func()
 	stopRTO  func()
 	sink     *Sink
+	// cid is the source's construction-order registry id; the timers armed
+	// when the start event fires derive their ids from it (see snapshot.go).
+	cid int64
 }
+
+// Derived-id slots for the timers a Source arms mid-run.
+const (
+	slotSourceTick = 1
+	slotSourceRTO  = 2
+)
 
 // NewSource wires a controller into the simulation. The flow starts sending
 // at `start` and stops at `stop` (0 = run forever). ackDelay is the
@@ -135,25 +146,37 @@ func NewSource(sim *Sim, flow int, ctrl cc.Controller, link Link, mtu int,
 	m := NewFlowMetrics(flow)
 	s := &Source{sim: sim, flow: flow, ctrl: ctrl, link: link, mtu: mtu, metrics: m}
 	s.sink = &Sink{sim: sim, metrics: m, ackDelay: ackDelay, src: s}
-	sim.Schedule(start, func() {
-		s.started = true
-		s.lastProg = sim.Now()
-		if iv := ctrl.TickInterval(); iv > 0 {
-			s.stopTick = sim.Every(iv, func() {
-				if s.stopped {
-					return
-				}
-				ctrl.Tick(sim.Now())
-				s.trySend()
-			})
-		}
-		s.stopRTO = sim.Every(10*time.Millisecond, s.checkRTO)
-		s.trySend()
-	})
+	s.cid = sim.RegisterFunc(s.start)
+	sim.RegisterReceiver(s)
+	sim.RegisterReceiver(s.sink)
+	sim.scheduleTagged(start, s.cid, s.start)
 	if stop > 0 {
-		sim.Schedule(stop, s.Stop)
+		stopID := sim.RegisterFunc(s.Stop)
+		sim.scheduleTagged(stop, stopID, s.Stop)
 	}
 	return s, m
+}
+
+// start begins transmission: it arms the controller tick and RTO timers under
+// ids derived from the source's construction-time id, then sends the first
+// window.
+func (s *Source) start() {
+	s.started = true
+	s.lastProg = s.sim.Now()
+	if iv := s.ctrl.TickInterval(); iv > 0 {
+		s.stopTick = s.sim.everyTagged(derivedID(s.cid, slotSourceTick), iv, s.onTick)
+	}
+	s.stopRTO = s.sim.everyTagged(derivedID(s.cid, slotSourceRTO), 10*time.Millisecond, s.checkRTO)
+	s.trySend()
+}
+
+// onTick drives the controller's periodic update (the Verus epoch).
+func (s *Source) onTick() {
+	if s.stopped {
+		return
+	}
+	s.ctrl.Tick(s.sim.Now())
+	s.trySend()
 }
 
 // Stop halts the flow (no further transmissions).
@@ -317,4 +340,104 @@ func (s *Source) checkRTO() {
 	s.backoff++
 	s.ctrl.OnTimeout(now)
 	s.trySend()
+}
+
+// Snapshot writes the flow's accumulated metrics.
+func (m *FlowMetrics) Snapshot(e *snap.Encoder) {
+	e.Tag("flowmetrics")
+	m.Throughput.Snapshot(e)
+	m.Delay.Snapshot(e)
+	m.DelayOverTime.Snapshot(e)
+	e.I64(m.Sent)
+	e.I64(m.Received)
+	e.I64(m.LossDetected)
+	e.I64(m.Timeouts)
+}
+
+// Restore replaces the flow's metrics with a snapshot.
+func (m *FlowMetrics) Restore(d *snap.Decoder) {
+	d.Expect("flowmetrics")
+	m.Throughput.Restore(d)
+	m.Delay.Restore(d)
+	m.DelayOverTime.Restore(d)
+	m.Sent = d.I64()
+	m.Received = d.I64()
+	m.LossDetected = d.I64()
+	m.Timeouts = d.I64()
+}
+
+// Snapshot implements Snapshotter: sender protocol state, the flow's metrics,
+// and the controller's state (the controller must itself be a Snapshotter).
+// Pending ack deliveries, timer ticks, and the start/stop events live in the
+// heap snapshot, not here.
+func (s *Source) Snapshot(e *snap.Encoder) {
+	e.Tag("source")
+	cs, ok := s.ctrl.(snap.Snapshotter)
+	if !ok {
+		e.Fail(fmt.Errorf("netsim: controller %T is not checkpointable (no Snapshot/Restore)", s.ctrl))
+		return
+	}
+	e.I64(s.nextSeq)
+	e.U32(uint32(len(s.inflight)))
+	for i := range s.inflight {
+		o := &s.inflight[i]
+		e.I64(o.seq)
+		e.Dur(o.sentAt)
+		e.Int(o.window)
+		e.Int(o.ackedAfter)
+		e.Bool(o.lost)
+	}
+	e.Dur(s.srtt)
+	e.Dur(s.rttvar)
+	e.Dur(s.lastProg)
+	e.Int(s.backoff)
+	e.Bool(s.stopped)
+	e.Bool(s.started)
+	s.metrics.Snapshot(e)
+	cs.Snapshot(e)
+}
+
+// Restore implements Snapshotter. If the checkpoint was taken after the flow
+// started, the tick and RTO timers are re-registered under their derived ids
+// (carrying the stopped flag) so the heap restore can resolve their pending
+// tick events.
+func (s *Source) Restore(d *snap.Decoder) {
+	d.Expect("source")
+	cs, ok := s.ctrl.(snap.Snapshotter)
+	if !ok {
+		d.Fail(fmt.Errorf("netsim: controller %T is not checkpointable (no Snapshot/Restore)", s.ctrl))
+		return
+	}
+	s.nextSeq = d.I64()
+	n := int(d.U32())
+	s.inflight = s.inflight[:0]
+	for i := 0; i < n; i++ {
+		var o outstanding
+		o.seq = d.I64()
+		o.sentAt = d.Dur()
+		o.window = d.Int()
+		o.ackedAfter = d.Int()
+		o.lost = d.Bool()
+		if d.Err() != nil {
+			return
+		}
+		s.inflight = append(s.inflight, o)
+	}
+	s.srtt = d.Dur()
+	s.rttvar = d.Dur()
+	s.lastProg = d.Dur()
+	s.backoff = d.Int()
+	s.stopped = d.Bool()
+	s.started = d.Bool()
+	s.metrics.Restore(d)
+	cs.Restore(d)
+	if d.Err() != nil {
+		return
+	}
+	if s.started {
+		if iv := s.ctrl.TickInterval(); iv > 0 {
+			s.stopTick = s.sim.restoreTimer(derivedID(s.cid, slotSourceTick), iv, s.onTick, s.stopped)
+		}
+		s.stopRTO = s.sim.restoreTimer(derivedID(s.cid, slotSourceRTO), 10*time.Millisecond, s.checkRTO, s.stopped)
+	}
 }

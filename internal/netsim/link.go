@@ -1,10 +1,12 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -37,6 +39,9 @@ type linkCore struct {
 	queue Queue
 	dst   Receiver
 	rng   *rand.Rand
+	// src is the counting source behind rng, making the loss-draw stream
+	// position checkpointable (see snapshot.go).
+	src *snap.Source
 
 	propDly  time.Duration
 	lossProb float64
@@ -118,9 +123,10 @@ type FixedLink struct {
 	busy    bool
 	// serving is the packet currently on the wire; servedFn is the one
 	// serialization-complete callback reused for every packet, so serving a
-	// packet schedules no closures.
+	// packet schedules no closures. servedID is its registry id.
 	serving  *Packet
 	servedFn func()
+	servedID int64
 }
 
 // NewFixedLink returns a link serving q at rateMbps with the given one-way
@@ -129,17 +135,20 @@ func NewFixedLink(sim *Sim, q Queue, rateMbps float64, prop time.Duration, dst R
 	if rateMbps <= 0 {
 		panic("netsim: link rate must be positive")
 	}
+	src := snap.NewSource(seed)
 	l := &FixedLink{
 		linkCore: linkCore{
 			sim:     sim,
 			queue:   q,
 			dst:     dst,
-			rng:     rand.New(rand.NewSource(seed)),
+			rng:     rand.New(src),
+			src:     src,
 			propDly: prop,
 		},
 		rateBps: rateMbps * 1e6,
 	}
 	l.servedFn = l.onServed
+	l.servedID = sim.RegisterFunc(l.servedFn)
 	return l
 }
 
@@ -174,7 +183,7 @@ func (l *FixedLink) serveNext() {
 	l.busy = true
 	l.serving = p
 	ser := time.Duration(float64(p.Bytes*8) / l.rateBps * float64(time.Second))
-	l.sim.After(ser, l.servedFn)
+	l.sim.afterTagged(ser, l.servedID, l.servedFn)
 }
 
 // onServed fires when the serving packet's last bit leaves the sender:
@@ -203,10 +212,11 @@ type TraceLink struct {
 	headServed int
 	// opIdx/opBase locate the pending delivery opportunity; opFn is the one
 	// callback reused for every opportunity, so trace replay schedules no
-	// closures.
+	// closures. opID is its registry id.
 	opIdx  int
 	opBase time.Duration
 	opFn   func()
+	opID   int64
 
 	// WastedBytes counts unused opportunity capacity.
 	WastedBytes int64
@@ -219,18 +229,21 @@ func NewTraceLink(sim *Sim, q Queue, tr *trace.Trace, prop time.Duration, dst Re
 	if len(tr.Ops) == 0 {
 		panic("netsim: trace has no delivery opportunities")
 	}
+	src := snap.NewSource(seed)
 	l := &TraceLink{
 		linkCore: linkCore{
 			sim:     sim,
 			queue:   q,
 			dst:     dst,
-			rng:     rand.New(rand.NewSource(seed)),
+			rng:     rand.New(src),
+			src:     src,
 			propDly: prop,
 		},
 		tr:   tr,
 		loop: loop,
 	}
 	l.opFn = l.runOp
+	l.opID = sim.RegisterFunc(l.opFn)
 	l.scheduleOp(0, 0)
 	return l
 }
@@ -249,7 +262,7 @@ func (l *TraceLink) scheduleOp(idx int, base time.Duration) {
 		base += l.tr.Duration
 	}
 	l.opIdx, l.opBase = idx, base
-	l.sim.Schedule(base+l.tr.Ops[idx].At, l.opFn)
+	l.sim.scheduleTagged(base+l.tr.Ops[idx].At, l.opID, l.opFn)
 }
 
 // runOp serves the pending delivery opportunity and schedules the next one.
@@ -292,4 +305,79 @@ func (l *TraceLink) peek() *Packet {
 	default:
 		panic("netsim: TraceLink requires a DropTail or RED queue")
 	}
+}
+
+// snapshot writes the shared link state: tunable parameters (rate/delay/loss
+// experiments mutate them mid-run), the loss RNG position, the delivery
+// counters, and the queue contents.
+func (c *linkCore) snapshot(e *snap.Encoder) {
+	e.Tag("linkcore")
+	if c.src == nil {
+		e.Fail(fmt.Errorf("netsim: link has no checkpointable RNG; construct with NewFixedLink/NewTraceLink"))
+		return
+	}
+	e.Dur(c.propDly)
+	e.F64(c.lossProb)
+	c.src.Snapshot(e)
+	e.I64(c.Delivered)
+	e.I64(c.Lost)
+	snapshotQueue(e, c.queue)
+}
+
+// restore consumes snapshot's fields into the rebuilt core.
+func (c *linkCore) restore(d *snap.Decoder) {
+	d.Expect("linkcore")
+	if c.src == nil {
+		d.Fail(fmt.Errorf("netsim: link has no checkpointable RNG; construct with NewFixedLink/NewTraceLink"))
+		return
+	}
+	c.propDly = d.Dur()
+	c.lossProb = d.F64()
+	c.src.Restore(d)
+	c.Delivered = d.I64()
+	c.Lost = d.I64()
+	restoreQueue(d, c.queue)
+}
+
+// Snapshot implements Snapshotter: the core state plus the serializer — the
+// current rate, the busy flag, and the packet on the wire. The pending
+// serialization-complete event itself is restored with the heap.
+func (l *FixedLink) Snapshot(e *snap.Encoder) {
+	e.Tag("fixedlink")
+	l.linkCore.snapshot(e)
+	e.F64(l.rateBps)
+	e.Bool(l.busy)
+	SnapshotPacket(e, l.serving)
+}
+
+// Restore implements Snapshotter.
+func (l *FixedLink) Restore(d *snap.Decoder) {
+	d.Expect("fixedlink")
+	l.linkCore.restore(d)
+	l.rateBps = d.F64()
+	l.busy = d.Bool()
+	l.serving = RestorePacket(d)
+}
+
+// Snapshot implements Snapshotter: the core state plus trace replay
+// position — which opportunity is pending, the loop base offset, partial
+// service of the head packet, and wasted capacity. The pending opportunity
+// event itself is restored with the heap.
+func (l *TraceLink) Snapshot(e *snap.Encoder) {
+	e.Tag("tracelink")
+	l.linkCore.snapshot(e)
+	e.Int(l.headServed)
+	e.Int(l.opIdx)
+	e.Dur(l.opBase)
+	e.I64(l.WastedBytes)
+}
+
+// Restore implements Snapshotter.
+func (l *TraceLink) Restore(d *snap.Decoder) {
+	d.Expect("tracelink")
+	l.linkCore.restore(d)
+	l.headServed = d.Int()
+	l.opIdx = d.Int()
+	l.opBase = d.Dur()
+	l.WastedBytes = d.I64()
 }

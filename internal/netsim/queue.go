@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
+
+	"repro/internal/snap"
 )
 
 // Packet is the unit of transfer in the simulator. Packets are pooled: sim
@@ -146,7 +149,10 @@ type RED struct {
 	// HardLimitBytes caps the instantaneous queue (tail drop beyond it).
 	HardLimitBytes int
 
-	rng    *rand.Rand
+	rng *rand.Rand
+	// src is the counting source behind rng, making the drop-draw stream
+	// position checkpointable (see snapshot.go).
+	src    *snap.Source
 	ring   pktRing
 	bytes  int
 	avg    float64
@@ -173,13 +179,15 @@ func NewRED(minBytes, maxBytes int, maxP float64, seed int64) *RED {
 	if minBytes <= 0 || maxBytes <= minBytes || maxP <= 0 || maxP > 1 {
 		panic("netsim: invalid RED parameters")
 	}
+	src := snap.NewSource(seed)
 	return &RED{
 		MinBytes:       minBytes,
 		MaxBytes:       maxBytes,
 		MaxP:           maxP,
 		Wq:             0.002,
 		HardLimitBytes: 2 * maxBytes,
-		rng:            rand.New(rand.NewSource(seed)),
+		rng:            rand.New(src),
+		src:            src,
 		idle:           true,
 	}
 }
@@ -260,3 +268,158 @@ func (q *RED) Bytes() int { return q.bytes }
 
 // AvgBytes returns RED's smoothed queue-size estimate.
 func (q *RED) AvgBytes() float64 { return q.avg }
+
+// snapshotRing writes the ring's packets in FIFO order.
+func (r *pktRing) snapshot(e *snap.Encoder) {
+	e.U32(uint32(r.n))
+	for i := 0; i < r.n; i++ {
+		SnapshotPacket(e, r.buf[(r.head+i)&(len(r.buf)-1)])
+	}
+}
+
+// restoreRing rematerializes the ring's packets in FIFO order into a ring
+// the rebuild left empty.
+func (r *pktRing) restore(d *snap.Decoder) {
+	n := int(d.U32())
+	if d.Err() != nil {
+		return
+	}
+	if r.n != 0 {
+		d.Fail(fmt.Errorf("netsim: restoring a queue ring that already holds %d packets", r.n))
+		return
+	}
+	for i := 0; i < n; i++ {
+		p := RestorePacket(d)
+		if d.Err() != nil {
+			return
+		}
+		if p == nil {
+			d.Fail(fmt.Errorf("netsim: nil packet in queue ring snapshot"))
+			return
+		}
+		r.push(p)
+	}
+}
+
+// Snapshot implements Snapshotter: the queued packets and drop counter. The
+// byte limit is configuration, written only as a cross-check.
+func (q *DropTail) Snapshot(e *snap.Encoder) {
+	e.Tag("droptail")
+	e.Int(q.limit)
+	e.Int(q.Drops)
+	q.ring.snapshot(e)
+}
+
+// Restore implements Snapshotter.
+func (q *DropTail) Restore(d *snap.Decoder) {
+	d.Expect("droptail")
+	limit := d.Int()
+	drops := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if limit != q.limit {
+		d.Fail(fmt.Errorf("netsim: DropTail limit %d in snapshot, %d rebuilt", limit, q.limit))
+		return
+	}
+	q.Drops = drops
+	q.ring.restore(d)
+	q.bytes = 0
+	for i := 0; i < q.ring.n; i++ {
+		q.bytes += q.ring.buf[(q.ring.head+i)&(len(q.ring.buf)-1)].Bytes
+	}
+}
+
+// Snapshot implements Snapshotter: queued packets, the RNG stream position,
+// and every piece of RED's drop-decision state (average, count, idle clock).
+// Thresholds are configuration, written only as a cross-check.
+func (q *RED) Snapshot(e *snap.Encoder) {
+	e.Tag("red")
+	if q.src == nil {
+		e.Fail(fmt.Errorf("netsim: RED queue was not built with NewRED and has no checkpointable RNG"))
+		return
+	}
+	e.Int(q.MinBytes)
+	e.Int(q.MaxBytes)
+	e.F64(q.MaxP)
+	e.F64(q.Wq)
+	e.Int(q.HardLimitBytes)
+	q.src.Snapshot(e)
+	e.F64(q.avg)
+	e.Int(q.count)
+	e.Dur(q.idleAt)
+	e.Bool(q.idle)
+	e.Int(q.Drops)
+	e.Int(q.EarlyDrops)
+	q.ring.snapshot(e)
+}
+
+// Restore implements Snapshotter.
+func (q *RED) Restore(d *snap.Decoder) {
+	d.Expect("red")
+	if q.src == nil {
+		d.Fail(fmt.Errorf("netsim: RED queue was not built with NewRED and has no checkpointable RNG"))
+		return
+	}
+	minB, maxB := d.Int(), d.Int()
+	maxP, wq := d.F64(), d.F64()
+	hard := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if minB != q.MinBytes || maxB != q.MaxBytes || maxP != q.MaxP || wq != q.Wq || hard != q.HardLimitBytes {
+		d.Fail(fmt.Errorf("netsim: RED thresholds in snapshot differ from the rebuilt queue"))
+		return
+	}
+	q.src.Restore(d)
+	q.avg = d.F64()
+	q.count = d.Int()
+	q.idleAt = d.Dur()
+	q.idle = d.Bool()
+	q.Drops = d.Int()
+	q.EarlyDrops = d.Int()
+	q.ring.restore(d)
+	q.bytes = 0
+	for i := 0; i < q.ring.n; i++ {
+		q.bytes += q.ring.buf[(q.ring.head+i)&(len(q.ring.buf)-1)].Bytes
+	}
+}
+
+// snapshotQueue dispatches a Queue's snapshot through its concrete type, the
+// same closed set TraceLink.peek relies on.
+func snapshotQueue(e *snap.Encoder, q Queue) {
+	switch q := q.(type) {
+	case *DropTail:
+		e.U8(0)
+		q.Snapshot(e)
+	case *RED:
+		e.U8(1)
+		q.Snapshot(e)
+	default:
+		e.Fail(fmt.Errorf("netsim: queue type %T is not checkpointable", q))
+	}
+}
+
+// restoreQueue mirrors snapshotQueue against the rebuilt queue.
+func restoreQueue(d *snap.Decoder, q Queue) {
+	kind := d.U8()
+	if d.Err() != nil {
+		return
+	}
+	switch q := q.(type) {
+	case *DropTail:
+		if kind != 0 {
+			d.Fail(fmt.Errorf("netsim: snapshot queue kind %d, rebuilt a DropTail", kind))
+			return
+		}
+		q.Restore(d)
+	case *RED:
+		if kind != 1 {
+			d.Fail(fmt.Errorf("netsim: snapshot queue kind %d, rebuilt a RED", kind))
+			return
+		}
+		q.Restore(d)
+	default:
+		d.Fail(fmt.Errorf("netsim: queue type %T is not checkpointable", q))
+	}
+}

@@ -27,6 +27,11 @@ type event struct {
 	// exact same (at, seq) pair.
 	seq uint64
 	fn  func()
+	// fid is the registry id of fn when the callback was scheduled through
+	// a tagged path (see snapshot.go). Zero means unregistered: the event
+	// still fires normally, but a checkpoint cannot serialize it. Only the
+	// snapshot encoder reads fid — the hot path never touches it.
+	fid int64
 	t   *timer // non-nil for recurring events; fn is nil then
 	// r/p carry a packet delivery without boxing a closure: the event fires
 	// as r.Receive(p). Packet deliveries dominate the hot path, so giving
@@ -66,11 +71,14 @@ func orderKeyParts(key uint64) (cell uint32, seq uint64) {
 	return uint32(key >> cellSeqBits), key & cellSeqMask
 }
 
-// timer is the Sim-owned state of one Every registration.
+// timer is the Sim-owned state of one Every registration. id is the
+// registry id under which snapshot-aware components registered the timer
+// (zero for plain Every registrations, which cannot be checkpointed).
 type timer struct {
 	interval time.Duration
 	fn       func()
 	stopped  bool
+	id       int64
 }
 
 // eventLess orders events by (time, insertion sequence) — a strict total
@@ -105,6 +113,11 @@ type Sim struct {
 	// pool is this Sim's packet free list (see pool.go). Owned per cell, so
 	// sharded mesh execution recycles packets with no synchronization.
 	pool packetPool
+	// reg maps stable ids to the long-lived callbacks, receivers, and timers
+	// a checkpoint needs to serialize heap entries (see snapshot.go). All
+	// maps are touched at construction and restore time only — never on the
+	// event hot path.
+	reg simRegistry
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -209,6 +222,21 @@ func (s *Sim) Schedule(at time.Duration, fn func()) {
 // After runs fn d from now.
 func (s *Sim) After(d time.Duration, fn func()) { s.Schedule(s.now+d, fn) }
 
+// scheduleTagged is Schedule with the callback's registry id attached, so a
+// checkpoint can serialize the pending event. Key claiming is identical to
+// Schedule — tagging never moves a digest.
+func (s *Sim) scheduleTagged(at time.Duration, id int64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{at: at, seq: s.nextKey(), fn: fn, fid: id})
+}
+
+// afterTagged is After with the callback's registry id attached.
+func (s *Sim) afterTagged(d time.Duration, id int64, fn func()) {
+	s.scheduleTagged(s.now+d, id, fn)
+}
+
 // Every runs fn every interval, starting one interval from now, until the
 // returned stop function is called. The registration is one timer object
 // for its whole lifetime: each firing reschedules the same entry, so
@@ -218,6 +246,19 @@ func (s *Sim) Every(interval time.Duration, fn func()) (stop func()) {
 		panic("netsim: Every interval must be positive")
 	}
 	t := &timer{interval: interval, fn: fn}
+	s.push(event{at: s.now + interval, seq: s.nextKey(), t: t})
+	return func() { t.stopped = true }
+}
+
+// everyTagged is Every with the timer registered under id in this Sim's
+// snapshot registry, making its pending tick serializable. Key claiming is
+// identical to Every.
+func (s *Sim) everyTagged(id int64, interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("netsim: Every interval must be positive")
+	}
+	t := &timer{interval: interval, fn: fn, id: id}
+	s.reg.registerTimer(id, t)
 	s.push(event{at: s.now + interval, seq: s.nextKey(), t: t})
 	return func() { t.stopped = true }
 }

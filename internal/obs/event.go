@@ -56,6 +56,13 @@ const (
 	// KindStall is a transport stall episode opening (no ack progress
 	// through consecutive RTOs); V0=consecutive timeouts.
 	KindStall
+	// KindCheckpointWrite is a snapshot written at a mesh barrier:
+	// V0=snapshot bytes, V1=checkpoint ordinal within the run (1-based),
+	// V2=barrier virtual time (s).
+	KindCheckpointWrite
+	// KindCheckpointRestore is a run resumed from a snapshot: V0=snapshot
+	// bytes, V1=the restored barrier virtual time (s).
+	KindCheckpointRestore
 
 	numKinds = iota
 )
@@ -79,6 +86,8 @@ var kindMeta = [numKinds]struct {
 	KindHandshake:         {"transport.handshake", [4]string{"attempt", "", "", ""}},
 	KindRTO:               {"transport.rto", [4]string{"consec", "rto", "", ""}},
 	KindStall:             {"transport.stall", [4]string{"consec", "", "", ""}},
+	KindCheckpointWrite:   {"ckpt.write", [4]string{"bytes", "n", "barrier", ""}},
+	KindCheckpointRestore: {"ckpt.restore", [4]string{"bytes", "barrier", "", ""}},
 }
 
 // kindByName inverts kindMeta for the JSONL parser.

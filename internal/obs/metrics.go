@@ -34,6 +34,15 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Restore replaces the count with a checkpointed value. It exists for
+// snapshot restore only; within a run counters stay monotone via Inc/Add.
+func (c *Counter) Restore(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
 // Gauge is an atomic last-write-wins float value.
 type Gauge struct{ bits atomic.Uint64 }
 

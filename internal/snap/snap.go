@@ -1,0 +1,415 @@
+// Package snap is the checkpoint codec for the simulator: a deterministic,
+// length-prefixed binary format with a version header and a CRC-32 trailer
+// (DESIGN.md §15).
+//
+// The format is deliberately dumb. Every value is written little-endian at a
+// fixed width (or with an explicit u32 length prefix for byte strings), so
+// an encoding is a pure function of the value sequence — no maps, no
+// reflection, no varints whose width depends on the platform. Section tags
+// (Tag/Expect) are part of the byte stream: they cost a few bytes per
+// component but turn an encode/decode order skew — the classic snapshot bug
+// — into an immediate, named error instead of a silently corrupt restore.
+//
+// Error handling is sticky on both sides. An Encoder that has failed ignores
+// further writes; a Decoder that has failed (short read, tag mismatch,
+// Fail()) returns zero values from then on and reports the first error from
+// Err. Callers check once, at the end, which keeps Snapshot/Restore
+// implementations free of per-field error plumbing.
+//
+// A complete snapshot file is
+//
+//	magic "VSNP" | u32 version | payload ... | u32 crc32(IEEE, magic..payload)
+//
+// and Decode verifies magic, version, and CRC before handing out a single
+// payload byte — a truncated, corrupted, or wrong-version file fails closed,
+// never a partial restore.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "VSNP"
+
+// Version is the current snapshot format version. Bump it whenever the
+// payload layout of any component changes; Decode rejects every other
+// version, so a stale checkpoint can never be half-applied to new code.
+const Version uint32 = 1
+
+// ErrTruncated reports a payload that ended mid-value.
+var ErrTruncated = errors.New("snap: truncated snapshot")
+
+// Encoder accumulates a snapshot payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+	err error
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Fail marks the encoder failed; subsequent writes are ignored.
+func (e *Encoder) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the first error recorded by Fail.
+func (e *Encoder) Err() error { return e.err }
+
+// Len returns the current payload size in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, v)
+}
+
+// U32 writes a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 writes a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 writes an int64 as its two's-complement uint64 image.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int writes a platform int as int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool writes a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bit pattern — bit-exact, including
+// NaN payloads and signed zeros.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Dur writes a time.Duration as int64 nanoseconds.
+func (e *Encoder) Dur(v time.Duration) { e.I64(int64(v)) }
+
+// Bytes writes a u32 length prefix followed by the raw bytes.
+func (e *Encoder) Bytes(v []byte) {
+	if len(v) > math.MaxUint32 {
+		e.Fail(fmt.Errorf("snap: byte string of %d bytes exceeds u32 length prefix", len(v)))
+		return
+	}
+	e.U32(uint32(len(v)))
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, v...)
+}
+
+// Str writes a string as Bytes.
+func (e *Encoder) Str(v string) {
+	if len(v) > math.MaxUint32 {
+		e.Fail(fmt.Errorf("snap: string of %d bytes exceeds u32 length prefix", len(v)))
+		return
+	}
+	e.U32(uint32(len(v)))
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, v...)
+}
+
+// I64s writes a u32 count followed by each element.
+func (e *Encoder) I64s(v []int64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+// F64s writes a u32 count followed by each element's bit pattern.
+func (e *Encoder) F64s(v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Tag writes a section marker. Decoder.Expect with the same name consumes
+// it; a mismatch is a hard decode error naming both sides.
+func (e *Encoder) Tag(name string) { e.Str(name) }
+
+// Encode frames the payload into a complete snapshot: magic, version,
+// payload, CRC trailer. It returns the encoder's sticky error, if any.
+func (e *Encoder) Encode(version uint32) ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]byte, 0, len(Magic)+8+len(e.buf)+4)
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = append(out, e.buf...)
+	crc := crc32.ChecksumIEEE(out)
+	out = binary.LittleEndian.AppendUint32(out, crc)
+	return out, nil
+}
+
+// Decoder consumes a snapshot payload produced by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// Decode verifies the framing of a complete snapshot — magic, version, CRC
+// trailer — and returns a decoder positioned at the payload. Any framing
+// violation is an error before a single payload byte is exposed.
+func Decode(data []byte, wantVersion uint32) (*Decoder, error) {
+	if len(data) < len(Magic)+4+4 {
+		return nil, fmt.Errorf("snap: file of %d bytes is too short to be a snapshot: %w", len(data), ErrTruncated)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("snap: CRC mismatch (file %08x, computed %08x): snapshot is corrupted or truncated", want, got)
+	}
+	if string(body[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snap: bad magic %q, not a snapshot file", body[:len(Magic)])
+	}
+	if v := binary.LittleEndian.Uint32(body[len(Magic):]); v != wantVersion {
+		return nil, fmt.Errorf("snap: format version %d, this build reads version %d", v, wantVersion)
+	}
+	return &Decoder{buf: body[len(Magic)+4:]}, nil
+}
+
+// Fail marks the decoder failed; subsequent reads return zero values.
+func (d *Decoder) Fail(err error) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
+// Err returns the first error recorded by a read or Fail.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Done verifies the payload was consumed exactly: no sticky error and no
+// trailing bytes. Call it once after the last field.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if n := d.Remaining(); n != 0 {
+		return fmt.Errorf("snap: %d trailing bytes after final field", n)
+	}
+	return nil
+}
+
+// take consumes n payload bytes, failing the decoder on a short read.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.Fail(fmt.Errorf("snap: need %d bytes at offset %d, have %d: %w", n, d.off, d.Remaining(), ErrTruncated))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bool reads a bool, rejecting any byte other than 0 or 1.
+func (d *Decoder) Bool() bool {
+	switch v := d.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Fail(fmt.Errorf("snap: invalid bool byte %d", v))
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Dur reads a time.Duration.
+func (d *Decoder) Dur() time.Duration { return time.Duration(d.I64()) }
+
+// Bytes reads a length-prefixed byte string into a fresh slice.
+func (d *Decoder) Bytes() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// I64s reads a counted int64 slice. A zero count yields a nil slice.
+func (d *Decoder) I64s() []int64 {
+	n := int(d.U32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.Remaining() < 8*n {
+		d.Fail(fmt.Errorf("snap: int64 slice of %d elements overruns payload: %w", n, ErrTruncated))
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	return out
+}
+
+// F64s reads a counted float64 slice. A zero count yields a nil slice.
+func (d *Decoder) F64s() []float64 {
+	n := int(d.U32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.Remaining() < 8*n {
+		d.Fail(fmt.Errorf("snap: float64 slice of %d elements overruns payload: %w", n, ErrTruncated))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Expect consumes a section tag written by Encoder.Tag and fails the decode
+// if it does not match — the guard against encode/decode order skew.
+func (d *Decoder) Expect(name string) {
+	if d.err != nil {
+		return
+	}
+	got := d.Str()
+	if d.err == nil && got != name {
+		d.Fail(fmt.Errorf("snap: section tag mismatch: decoding %q, stream has %q", name, got))
+	}
+}
+
+// WriteFile frames the encoder's payload and writes it atomically: the bytes
+// land in a temp file in the destination directory, which is fsynced and
+// renamed over path. A crash mid-write leaves the previous complete
+// checkpoint in place, never a torn file.
+func WriteFile(path string, e *Encoder, version uint32) error {
+	data, err := e.Encode(version)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile reads and verifies a snapshot file written by WriteFile.
+func ReadFile(path string, version uint32) (*Decoder, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Decode(data, version)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Snapshotter is implemented by every component that participates in a
+// checkpoint: Snapshot appends the component's mutable state to the
+// encoder, Restore consumes the same fields in the same order. Restore
+// implementations record failures on the decoder (Fail) rather than
+// returning errors; the orchestrator checks Err once at the end.
+type Snapshotter interface {
+	Snapshot(*Encoder)
+	Restore(*Decoder)
+}

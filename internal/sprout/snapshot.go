@@ -1,0 +1,51 @@
+package sprout
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// Snapshot implements snap.Snapshotter: the belief distribution and the
+// tick-accumulator state. Derived quantities (lambdaStep, sigmaBins, the
+// diffusion scratch) are functions of the config and are rebuilt.
+func (s *Sprout) Snapshot(e *snap.Encoder) {
+	e.Tag("sprout")
+	e.F64s(s.belief)
+	e.Int(s.arrivals)
+	e.Int(s.window)
+	e.Dur(s.rttMin)
+	e.Dur(s.rttSumTick)
+	e.Int(s.rttCntTick)
+	e.Dur(s.srtt)
+	e.I64(s.ticks)
+}
+
+// Restore implements snap.Snapshotter, cross-checking the belief resolution
+// against the rebuilt configuration.
+func (s *Sprout) Restore(d *snap.Decoder) {
+	d.Expect("sprout")
+	belief := d.F64s()
+	arrivals := d.Int()
+	window := d.Int()
+	rttMin := d.Dur()
+	rttSumTick := d.Dur()
+	rttCntTick := d.Int()
+	srtt := d.Dur()
+	ticks := d.I64()
+	if d.Err() != nil {
+		return
+	}
+	if len(belief) != len(s.belief) {
+		d.Fail(fmt.Errorf("sprout: snapshot has %d belief bins, rebuild configured %d", len(belief), len(s.belief)))
+		return
+	}
+	copy(s.belief, belief)
+	s.arrivals = arrivals
+	s.window = window
+	s.rttMin = rttMin
+	s.rttSumTick = rttSumTick
+	s.rttCntTick = rttCntTick
+	s.srtt = srtt
+	s.ticks = ticks
+}

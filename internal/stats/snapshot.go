@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// Checkpoint support (DESIGN.md §15). Accumulators snapshot their running
+// state bit-exactly: float sums are stored as IEEE-754 bit patterns, never
+// recomputed from samples — re-summing in a different order would drift the
+// low bits and move a golden digest. Sample order is preserved verbatim for
+// the same reason (Summary.Percentile sorts lazily in place, so the
+// in-memory order at snapshot time is part of the observable state).
+
+// Snapshot writes the summary's samples and running moments.
+func (s *Summary) Snapshot(e *snap.Encoder) {
+	e.Tag("summary")
+	e.F64s(s.samples)
+	e.Bool(s.sorted)
+	e.F64(s.sum)
+	e.F64(s.sumSq)
+}
+
+// Restore replaces the summary's state with a snapshot.
+func (s *Summary) Restore(d *snap.Decoder) {
+	d.Expect("summary")
+	samples := d.F64s()
+	sorted := d.Bool()
+	sum := d.F64()
+	sumSq := d.F64()
+	if d.Err() != nil {
+		return
+	}
+	s.samples = append(s.samples[:0], samples...)
+	s.sorted = sorted
+	s.sum = sum
+	s.sumSq = sumSq
+}
+
+// Snapshot writes the per-window byte totals.
+func (s *ThroughputSeries) Snapshot(e *snap.Encoder) {
+	e.Tag("tput")
+	e.Dur(s.window)
+	e.I64s(s.bytes)
+}
+
+// Restore replaces the series' state with a snapshot, cross-checking the
+// configured window size against the rebuilt value.
+func (s *ThroughputSeries) Restore(d *snap.Decoder) {
+	d.Expect("tput")
+	w := d.Dur()
+	bytes := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if w != s.window {
+		d.Fail(fmt.Errorf("stats: throughput window %v in snapshot, %v rebuilt", w, s.window))
+		return
+	}
+	s.bytes = append(s.bytes[:0], bytes...)
+}
+
+// Snapshot writes the per-window sums and counts.
+func (s *WindowedMean) Snapshot(e *snap.Encoder) {
+	e.Tag("wmean")
+	e.Dur(s.window)
+	e.F64s(s.sums)
+	e.I64s(s.counts)
+}
+
+// Restore replaces the series' state with a snapshot, cross-checking the
+// configured window size against the rebuilt value.
+func (s *WindowedMean) Restore(d *snap.Decoder) {
+	d.Expect("wmean")
+	w := d.Dur()
+	sums := d.F64s()
+	counts := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if w != s.window {
+		d.Fail(fmt.Errorf("stats: windowed-mean window %v in snapshot, %v rebuilt", w, s.window))
+		return
+	}
+	if len(sums) != len(counts) {
+		d.Fail(fmt.Errorf("stats: windowed-mean snapshot has %d sums but %d counts", len(sums), len(counts)))
+		return
+	}
+	s.sums = append(s.sums[:0], sums...)
+	s.counts = append(s.counts[:0], counts...)
+}
