@@ -226,6 +226,9 @@ func writeObsOutputs(files obsOutputs, tracer *obs.Tracer, registry *obs.Registr
 		return err
 	}
 	return export(files.metrics, "-metrics", func(f *os.File) error {
+		// Publish the ring-overflow count so the exposition itself records
+		// whether the exported trace is complete (obs_trace_dropped_total).
+		obs.NewObserver(tracer, registry).SyncTraceDropped()
 		if err := obs.WritePrometheus(f, registry); err != nil {
 			return err
 		}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// writeTrace serializes events to a temp JSONL file.
+func writeTrace(t *testing.T, events []obs.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAttributeReport(t *testing.T) {
+	path := writeTrace(t, []obs.Event{
+		{At: 100 * time.Millisecond, Seq: 0, Kind: obs.KindNetAttrib, Flow: 0, Run: 7,
+			V0: 0.030, V1: 0.002, V2: 0.010, V3: 0, V4: 0, V5: 0.042},
+		{At: 120 * time.Millisecond, Seq: 1, Kind: obs.KindNetAttrib, Flow: 1, Run: 7,
+			V0: 0.010, V1: 0.002, V2: 0.010, V3: 0.050, V4: 0.008, V5: 0.080},
+		{At: 130 * time.Millisecond, Seq: 2, Kind: obs.KindNetAttrib, Flow: 0, Run: 9,
+			V0: 0.001, V1: 0.001, V2: 0.010, V3: 0, V4: 0, V5: 0.012},
+		// Non-attribution events are ignored by the report.
+		{At: 140 * time.Millisecond, Seq: 3, Kind: obs.KindNetDeliver, Flow: 0, Run: 7, V0: 1400, V1: 0.01},
+	})
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"attribute", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"2 flow classes",
+		"run 7: 2 packets",
+		"run 9: 1 packets",
+		"queue", "ser", "prop", "fault", "detour",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+	// Run 7's summed one-way delay is 122 ms of which fault is 50 ms: 41.0%.
+	if !strings.Contains(s, "41.0") {
+		t.Errorf("fault share 41.0%% missing from report:\n%s", s)
+	}
+	// Run 7's mean one-way delay is 61 ms.
+	if !strings.Contains(s, "61.00 ms") {
+		t.Errorf("run 7 mean 61.00 ms missing from report:\n%s", s)
+	}
+}
+
+func TestAttributeRejectsTraceWithoutAttrib(t *testing.T) {
+	path := writeTrace(t, []obs.Event{
+		{At: 10 * time.Millisecond, Seq: 0, Kind: obs.KindNetDeliver, Flow: 0, Run: 7, V0: 1400, V1: 0.005},
+	})
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"attribute", path}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(errBuf.String(), "no net.attrib events") {
+		t.Errorf("error does not explain the missing events: %s", errBuf.String())
+	}
+}
+
+func TestVerifyTraceWarnsOnDrops(t *testing.T) {
+	// Seq starts at 12: the ring evicted the first 12 events.
+	path := writeTrace(t, []obs.Event{
+		{At: 10 * time.Millisecond, Seq: 12, Kind: obs.KindNetDeliver, Flow: 0, Run: 7, V0: 1400, V1: 0.005},
+		{At: 11 * time.Millisecond, Seq: 13, Kind: obs.KindNetDeliver, Flow: 0, Run: 7, V0: 1400, V1: 0.004},
+	})
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"verify-trace", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "WARNING") || !strings.Contains(out.String(), "12 events") {
+		t.Errorf("drop warning missing:\n%s", out.String())
+	}
+	// A complete trace (Seq from 0) must not warn.
+	clean := writeSampleTrace(t)
+	out.Reset()
+	if code := run([]string{"verify-trace", clean}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if strings.Contains(out.String(), "WARNING") {
+		t.Errorf("complete trace warned spuriously:\n%s", out.String())
+	}
+}

@@ -18,6 +18,12 @@
 //	    Convert a JSONL trace to Chrome trace_event format for
 //	    chrome://tracing or Perfetto.
 //
+//	verus-obs attribute <trace.jsonl>
+//	    Render the delay-budget report from the trace's net.attrib events:
+//	    per flow class (run), each component's share of the mean one-way
+//	    delay and its exact p95/p99. A trace with no attribution events is
+//	    an error.
+//
 // Exit status: 0 on success, 1 on malformed input or I/O failure, 2 on
 // usage errors.
 package main
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 func usage(w io.Writer) {
@@ -37,6 +44,7 @@ func usage(w io.Writer) {
   verus-obs verify-trace <trace.jsonl>
   verus-obs verify-metrics <metrics.prom>
   verus-obs chrome <trace.jsonl> <out.json>
+  verus-obs attribute <trace.jsonl>
 `)
 }
 
@@ -69,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return toChrome(args[1], args[2], stdout, stderr)
+	case "attribute":
+		if len(args) != 2 {
+			usage(stderr)
+			return 2
+		}
+		return attribute(args[1], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "verus-obs: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -116,6 +130,12 @@ func verifyTrace(path string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s: %d events, %d runs, virtual time %v..%v\n",
 		path, len(events), len(runs), lo, hi)
+	// The tracer ring evicts oldest-first and Seq counts emissions from 0,
+	// so the first retained sequence number IS the drop count. Surface a
+	// truncated trace instead of silently verifying the survivors.
+	if dropped := events[0].Seq; dropped > 0 {
+		fmt.Fprintf(stdout, "WARNING: ring buffer overflow dropped the first %d events; the trace is truncated\n", dropped)
+	}
 	names := make([]string, 0, len(kinds))
 	for k := range kinds {
 		names = append(names, k)
@@ -144,6 +164,72 @@ func verifyMetrics(path string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: %d series across %d families\n", path, len(m.Values), len(m.Types))
+	return 0
+}
+
+// attrClass accumulates one flow class's (one run's) per-packet component
+// samples for the delay-budget report.
+type attrClass struct {
+	run   int64
+	comps [stats.NumDelayComps]*stats.Summary
+	total *stats.Summary
+}
+
+func newAttrClass(run int64) *attrClass {
+	c := &attrClass{run: run, total: stats.NewSummary(4096)}
+	for i := range c.comps {
+		c.comps[i] = stats.NewSummary(4096)
+	}
+	return c
+}
+
+// attribute renders the per-flow-class delay budget from a trace's
+// net.attrib events: each component's share of the summed one-way delay and
+// exact (sample, not bucket) p95/p99 per component.
+func attribute(path string, stdout, stderr io.Writer) int {
+	events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	classes := make(map[int64]*attrClass)
+	var order []int64
+	for _, e := range events {
+		if e.Kind != obs.KindNetAttrib {
+			continue
+		}
+		c := classes[e.Run]
+		if c == nil {
+			c = newAttrClass(e.Run)
+			classes[e.Run] = c
+			order = append(order, e.Run)
+		}
+		for i, v := range [stats.NumDelayComps]float64{e.V0, e.V1, e.V2, e.V3, e.V4} {
+			c.comps[i].Add(v)
+		}
+		c.total.Add(e.V5)
+	}
+	if len(classes) == 0 {
+		fmt.Fprintf(stderr, "verus-obs: %s: no net.attrib events; run the workload with sinks instrumented (verus-bench -trace)\n", path)
+		return 1
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	fmt.Fprintf(stdout, "%s: delay attribution across %d flow classes\n", path, len(order))
+	for _, run := range order {
+		c := classes[run]
+		fmt.Fprintf(stdout, "run %d: %d packets, one-way mean %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+			run, c.total.N(), c.total.Mean()*1e3, c.total.Percentile(95)*1e3, c.total.Percentile(99)*1e3)
+		fmt.Fprintf(stdout, "  %-8s %7s %10s %10s %10s\n", "comp", "share%", "mean(ms)", "p95(ms)", "p99(ms)")
+		totalSum := c.total.Mean() * float64(c.total.N())
+		for i := 0; i < stats.NumDelayComps; i++ {
+			s := c.comps[i]
+			share := 0.0
+			if totalSum > 0 {
+				share = s.Mean() * float64(s.N()) / totalSum * 100
+			}
+			fmt.Fprintf(stdout, "  %-8s %7.1f %10.3f %10.3f %10.3f\n",
+				stats.DelayComp(i).String(), share, s.Mean()*1e3, s.Percentile(95)*1e3, s.Percentile(99)*1e3)
+		}
+	}
 	return 0
 }
 

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Attribution contract of ISSUE 10: the delay-attribution figure is
+// executor-independent (single-heap ≡ sharded-k, serial ≡ pooled trials),
+// the accounting identity holds at metro scale — components sum exactly to
+// the measured one-way delay for every delivered packet, across handover
+// stalls and cross-shard detours — and the aggregates survive
+// checkpoint/resume byte-identically.
+
+func TestMetroAttributionExecutorEquivalence(t *testing.T) {
+	ref, err := Metro(metroTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.RenderAttribution()
+	if len(want) < 100 || !strings.Contains(want, "detour") {
+		t.Fatalf("implausible attribution render:\n%s", want)
+	}
+	for _, p := range ref.Points {
+		if p.Attrib.Count == 0 {
+			t.Fatalf("%s point recorded no deliveries; attribution unwired", p.Protocol)
+		}
+		if p.Attrib.Violations != 0 || p.Attrib.Negatives != 0 {
+			t.Errorf("%s point breaks the accounting identity: %d violations, %d negatives over %d packets",
+				p.Protocol, p.Attrib.Violations, p.Attrib.Negatives, p.Attrib.Count)
+		}
+		var sum int64
+		for c := 0; c < stats.NumDelayComps; c++ {
+			sum += p.Attrib.CompNs[c]
+		}
+		if sum != p.Attrib.TotalNs {
+			t.Errorf("%s point: component sum %d ns != total %d ns", p.Protocol, sum, p.Attrib.TotalNs)
+		}
+		// Handovers are active at this scale, so the fault-hold and detour
+		// components must both be charged — the stamps this figure exists
+		// to surface.
+		if p.Attrib.CompNs[stats.DelayFaultHold] == 0 || p.Attrib.CompNs[stats.DelayDetour] == 0 {
+			t.Errorf("%s point never charged fault/detour time (%v) despite %d handovers",
+				p.Protocol, p.Attrib.CompNs, p.Handovers)
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		got, err := Metro(metroTestOptions(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.RenderAttribution(); g != want {
+			t.Errorf("sharded-%d attribution render diverges from single-heap reference:\n--- single\n%s\n--- sharded-%d\n%s",
+				shards, want, shards, g)
+		}
+	}
+}
+
+func TestMetroAttributionSurvivesCheckpointResume(t *testing.T) {
+	opts := ckptOpts(4, 0)
+	straight, err := Metro(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := straight.RenderAttribution()
+
+	dir := t.TempDir()
+	var copies []string
+	co := opts
+	co.CheckpointPath = filepath.Join(dir, "snap.bin")
+	co.CheckpointEvery = 500 * time.Millisecond
+	co.CheckpointHook = func(ordinal int, path string) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("checkpoint %d unreadable: %v", ordinal, err)
+		}
+		cp := filepath.Join(dir, fmt.Sprintf("snap-%03d.bin", ordinal))
+		if err := os.WriteFile(cp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, cp)
+	}
+	ckpt, err := Metro(co)
+	if err != nil {
+		t.Fatalf("checkpointed sweep: %v", err)
+	}
+	if g := ckpt.RenderAttribution(); g != want {
+		t.Errorf("checkpointing alone perturbed the attribution render:\n--- straight\n%s\n--- checkpointed\n%s", want, g)
+	}
+	if len(copies) == 0 {
+		t.Fatal("no checkpoints written; resume check vacuous")
+	}
+	for _, i := range []int{0, len(copies) / 2, len(copies) - 1} {
+		rs := opts
+		rs.ResumeFrom = copies[i]
+		got, err := Metro(rs)
+		if err != nil {
+			t.Fatalf("resume from %s: %v", copies[i], err)
+		}
+		if g := got.RenderAttribution(); g != want {
+			t.Errorf("resume from checkpoint %d diverges:\n--- straight\n%s\n--- resumed\n%s", i, want, g)
+		}
+	}
+}

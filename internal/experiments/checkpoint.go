@@ -7,6 +7,7 @@ import (
 	"repro/internal/experiments/runner"
 	"repro/internal/obs"
 	"repro/internal/snap"
+	"repro/internal/stats"
 )
 
 // Checkpoint/resume for the metro sweep (DESIGN.md §15). A checkpoint file
@@ -47,6 +48,11 @@ func snapshotMetroPoint(e *snap.Encoder, p MetroPoint) {
 	e.F64s(p.DelayQuantiles)
 	e.I64(p.Handovers)
 	e.U64(p.CrossMsgs)
+	p.Attrib.Snapshot(e)
+	e.U32(uint32(len(p.CellAttrib)))
+	for i := range p.CellAttrib {
+		p.CellAttrib[i].Snapshot(e)
+	}
 }
 
 // restoreMetroPoint is the inverse of snapshotMetroPoint.
@@ -59,6 +65,16 @@ func restoreMetroPoint(d *snap.Decoder) MetroPoint {
 	p.DelayQuantiles = d.F64s()
 	p.Handovers = d.I64()
 	p.CrossMsgs = d.U64()
+	p.Attrib.Restore(d)
+	if n := int(d.U32()); d.Err() == nil && n > 0 {
+		p.CellAttrib = make([]stats.Attribution, n)
+		for i := range p.CellAttrib {
+			p.CellAttrib[i].Restore(d)
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
 	return p
 }
 

@@ -53,7 +53,7 @@ func goldenCases(o *obs.Observer) []struct {
 	// workers, the other on the single-heap reference. Their renders are
 	// digested independently, and TestMetroExecutorEquivalence additionally
 	// proves the executors agree byte-for-byte at equal settings.
-	metro := func(tech cellular.Tech, shards, parallel int, churn float64) string {
+	metroRes := func(tech cellular.Tech, shards, parallel int, churn float64) MetroResult {
 		res, err := Metro(MetroOptions{
 			Sectors: 4, FlowCounts: []int{32}, Duration: 4 * time.Second,
 			Shards: shards, Tech: tech, HandoverScale: 0.05, ChurnFrac: churn,
@@ -62,7 +62,10 @@ func goldenCases(o *obs.Observer) []struct {
 		if err != nil {
 			panic(err)
 		}
-		return res.Render()
+		return res
+	}
+	metro := func(tech cellular.Tech, shards, parallel int, churn float64) string {
+		return metroRes(tech, shards, parallel, churn).Render()
 	}
 	return []struct {
 		name   string
@@ -91,6 +94,15 @@ func goldenCases(o *obs.Observer) []struct {
 		// arithmetic) exactly as the two churn-free metro digests lock the
 		// handover schedule.
 		{"MetroChurnLTE-sharded4", func(p int) string { return metro(cellular.TechLTE, 4, p, 0.5) }},
+		// PR 10: the delay-attribution figure, digested from both executor
+		// sides like the throughput/fairness renders above. The viol column
+		// golden-pins the accounting identity at zero for every sweep point.
+		{"MetroAttribLTE-sharded4", func(p int) string {
+			return metroRes(cellular.TechLTE, 4, p, 0).RenderAttribution()
+		}},
+		{"MetroAttrib3G-singleheap", func(p int) string {
+			return metroRes(cellular.Tech3G, 0, p, 0).RenderAttribution()
+		}},
 	}
 }
 

@@ -190,6 +190,7 @@ func (tr TraceRun) Run() RunResult {
 		}
 		return flink
 	}, MTU, specs)
+	instrumentSinks(d, tr.Obs, tr.Seed)
 	d.Run(tr.Duration)
 	res := collect(d, tr.Duration)
 	if flink != nil {
@@ -261,6 +262,7 @@ func (fr FixedRun) Run() RunResult {
 		link.Instrument(fr.Obs, fr.Seed)
 		return link
 	}, MTU, specs)
+	instrumentSinks(d, fr.Obs, fr.Seed)
 	if fr.Mutate != nil && fr.MutateEvery > 0 {
 		iter := 0
 		sim.Every(fr.MutateEvery, func() {
@@ -281,6 +283,26 @@ func observe(o *obs.Observer, ctrl cc.Controller, run int64, flow int) {
 	}
 	if ob, ok := ctrl.(obs.Observable); ok {
 		ob.Observe(o, run, flow)
+	}
+}
+
+// instrumentSinks attaches the observer to every flow sink of a dumbbell so
+// deliveries emit net.attrib decomposition events. Safe with a nil observer:
+// the sink attachment stays nil and the per-delivery path keeps its single
+// branch.
+func instrumentSinks(d *netsim.Dumbbell, o *obs.Observer, run int64) {
+	if o == nil {
+		return
+	}
+	for _, s := range d.Sources {
+		if s != nil {
+			s.Instrument(o, run)
+		}
+	}
+	for _, c := range d.CBRs {
+		if c != nil {
+			c.Instrument(o, run)
+		}
 	}
 }
 

@@ -148,6 +148,11 @@ type MetroPoint struct {
 	// messages (detour hops) the trial generated.
 	Handovers int64
 	CrossMsgs uint64
+	// Attrib is the trial-wide one-way delay decomposition, merged across
+	// sectors; CellAttrib[s] is sector s's own aggregate. Render ignores
+	// both — they feed RenderAttribution, a separate golden figure.
+	Attrib     stats.Attribution
+	CellAttrib []stats.Attribution
 }
 
 // metroCDFQuantiles are the percentiles the delay-CDF figure reports.
@@ -231,6 +236,9 @@ type metroHomeRecv struct {
 func (r *metroHomeRecv) Receive(p *netsim.Packet) {
 	st := r.states[p.Flow]
 	if now := r.sim.Now(); now < st.stallUntil {
+		// The handover stall defers delivery; the wait is fault hold time,
+		// closed by the sink at the release instant.
+		p.MarkDelay(now, stats.DelayFaultHold)
 		r.sim.SchedulePacketAfter(st.stallUntil-now, st.sink, p)
 		return
 	}
@@ -260,6 +268,7 @@ func (b *metroBounce) Receive(p *netsim.Packet) {
 // channels, which is what makes handovers cross-shard traffic.
 type metroLinkRecv struct {
 	s      int
+	sim    *netsim.Sim
 	mesh   *netsim.Mesh
 	delay  time.Duration
 	states []*metroUserState
@@ -274,6 +283,9 @@ func (r *metroLinkRecv) Receive(p *netsim.Packet) {
 		r.home[r.s].Receive(p)
 		return
 	}
+	// Both backhaul hops (out to the serving sector and back home) charge to
+	// the detour component; the bounce continues the same open interval.
+	p.MarkDelay(r.sim.Now(), stats.DelayDetour)
 	r.mesh.SendPacket(r.s, st.cur, r.delay, r.bounce[st.cur], p)
 }
 
@@ -293,6 +305,11 @@ type metroSim struct {
 	sources         []*netsim.Source
 	handoversByCell []int64
 	links           []*netsim.TraceLink
+	// attrib[s] aggregates delay attribution for the flows homed in sector
+	// s. Sinks run on the home-cell timeline, so each aggregate is touched
+	// by exactly one shard — race-free without synchronization, like
+	// handoversByCell.
+	attrib []*stats.Attribution
 }
 
 // metroBuild constructs one full metro simulation: the cellular topology,
@@ -332,6 +349,10 @@ func metroBuild(opts MetroOptions, mk Maker, flows int, seed int64) *metroSim {
 		// and summed after the run.
 		handoversByCell: make([]int64, opts.Sectors),
 		links:           make([]*netsim.TraceLink, opts.Sectors),
+		attrib:          make([]*stats.Attribution, opts.Sectors),
+	}
+	for s := 0; s < opts.Sectors; s++ {
+		m.attrib[s] = new(stats.Attribution)
 	}
 	home := make([]*metroHomeRecv, opts.Sectors)
 	bounce := make([]*metroBounce, opts.Sectors)
@@ -346,7 +367,7 @@ func metroBuild(opts MetroOptions, mk Maker, flows int, seed int64) *metroSim {
 	}
 	for s := 0; s < opts.Sectors; s++ {
 		sim := mesh.Cell(s)
-		recv := &metroLinkRecv{s: s, mesh: mesh, delay: topo.NeighborDelay,
+		recv := &metroLinkRecv{s: s, sim: sim, mesh: mesh, delay: topo.NeighborDelay,
 			states: m.states, home: home, bounce: bounce}
 		sim.RegisterReceiver(recv)
 		model := cellular.NewModel(topo.Sectors[s].Channel)
@@ -376,6 +397,8 @@ func metroBuild(opts MetroOptions, mk Maker, flows int, seed int64) *metroSim {
 			}
 			src, fm := netsim.NewSource(sim, u.ID, ctrl, m.links[u.Home], MTU,
 				10*time.Millisecond, start, stop)
+			src.SetAttribution(m.attrib[u.Home])
+			src.Instrument(opts.Obs, seed)
 			st.sink = src.Sink()
 			m.sources[u.ID] = src
 			m.metrics[u.ID] = fm
@@ -427,6 +450,11 @@ func (m *metroSim) collect() MetroPoint {
 	for _, q := range metroCDFQuantiles {
 		pt.DelayQuantiles = append(pt.DelayQuantiles, delay.Percentile(q))
 	}
+	pt.CellAttrib = make([]stats.Attribution, m.opts.Sectors)
+	for s, a := range m.attrib {
+		pt.CellAttrib[s] = *a
+		pt.Attrib.Merge(a)
+	}
 	return pt
 }
 
@@ -452,6 +480,12 @@ func (m *metroSim) Snapshot(e *snap.Encoder) {
 		}
 	}
 	e.I64s(m.handoversByCell)
+	for _, a := range m.attrib {
+		a.Snapshot(e)
+		if e.Err() != nil {
+			return
+		}
+	}
 	m.mesh.SnapshotHeaps(e)
 }
 
@@ -495,6 +529,12 @@ func (m *metroSim) Restore(d *snap.Decoder) {
 		return
 	}
 	copy(m.handoversByCell, hc)
+	for _, a := range m.attrib {
+		a.Restore(d)
+		if d.Err() != nil {
+			return
+		}
+	}
 	m.mesh.RestoreHeaps(d)
 }
 
@@ -562,6 +602,58 @@ func (r MetroResult) Render() string {
 		row := []string{fmt.Sprintf("%d", p.Flows), p.Protocol}
 		for _, d := range p.DelayQuantiles {
 			row = append(row, fmt.Sprintf("%.1f", d*1000))
+		}
+		rows = append(rows, row)
+	}
+	s += table(header, rows)
+	return s
+}
+
+// RenderAttribution prints the delay-budget figure: per sweep point, each
+// component's share of the summed one-way delay, bucket-resolution p95/p99
+// upper bounds on the total, and the accounting-identity ledger (violations
+// plus negative components — golden-pinned at zero). Like Render, the output
+// carries no shard or worker counts: it must be byte-identical across
+// executors.
+func (r MetroResult) RenderAttribution() string {
+	s := fmt.Sprintf("Metro delay attribution: %d sectors (%s), %v per trial; components sum exactly to one-way delay\n",
+		r.Sectors, r.Tech, r.Duration)
+	header := []string{"flows", "protocol", "pkts", "mean (ms)"}
+	for c := 0; c < stats.NumDelayComps; c++ {
+		header = append(header, stats.DelayComp(c).String()+" %")
+	}
+	header = append(header, "p95 (ms)", "p99 (ms)", "viol")
+	var rows [][]string
+	for _, p := range r.Points {
+		row := []string{
+			fmt.Sprintf("%d", p.Flows),
+			p.Protocol,
+			fmt.Sprintf("%d", p.Attrib.Count),
+			fmt.Sprintf("%.2f", p.Attrib.MeanTotalSeconds()*1e3),
+		}
+		for c := 0; c < stats.NumDelayComps; c++ {
+			row = append(row, fmt.Sprintf("%.1f", p.Attrib.Share(stats.DelayComp(c))*100))
+		}
+		row = append(row,
+			fmt.Sprintf("%.1f", p.Attrib.TotalQuantileSeconds(95)*1e3),
+			fmt.Sprintf("%.1f", p.Attrib.TotalQuantileSeconds(99)*1e3),
+			fmt.Sprintf("%d", p.Attrib.Violations+p.Attrib.Negatives))
+		rows = append(rows, row)
+	}
+	s += table(header, rows)
+
+	s += "\nPer-cell fault+detour share of one-way delay (%)\n"
+	header = []string{"flows", "protocol"}
+	for ci := 0; ci < r.Sectors; ci++ {
+		header = append(header, fmt.Sprintf("cell %d", ci))
+	}
+	rows = nil
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%d", p.Flows), p.Protocol}
+		for ci := range p.CellAttrib {
+			a := &p.CellAttrib[ci]
+			row = append(row, fmt.Sprintf("%.1f",
+				(a.Share(stats.DelayFaultHold)+a.Share(stats.DelayDetour))*100))
 		}
 		rows = append(rows, row)
 	}

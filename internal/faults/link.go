@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/snap"
+	"repro/internal/stats"
 )
 
 // Link decorates a netsim.Link with a fault Plan. It interposes on both
@@ -178,6 +179,9 @@ func (l *Link) egress(p *netsim.Packet) {
 		return
 	}
 	if l.inStall {
+		// Close the propagation interval and open a fault hold; the stall
+		// (until burst release) is charged to the fault, not the link.
+		p.MarkDelay(l.sim.Now(), stats.DelayFaultHold)
 		l.held = append(l.held, p)
 		l.Held++
 		return
@@ -218,6 +222,8 @@ func (l *Link) deliver(p *netsim.Packet) {
 	if l.plan != nil && l.plan.ReorderProb > 0 && l.rng.Float64() < l.plan.ReorderProb {
 		l.Reordered++
 		l.ReorderPending++
+		// The extra reorder delay is fault-induced hold time.
+		p.MarkDelay(l.sim.Now(), stats.DelayFaultHold)
 		l.sim.SchedulePacketAfter(l.plan.ReorderDelay, l.reorderRecv, p)
 		return
 	}
@@ -247,6 +253,9 @@ func (l *Link) arrive(p *netsim.Packet) {
 		return
 	}
 	if l.inStall {
+		// A reordered packet re-arriving into a stall keeps accruing fault
+		// hold time until the burst release.
+		p.MarkDelay(l.sim.Now(), stats.DelayFaultHold)
 		l.held = append(l.held, p)
 		l.Held++
 		return

@@ -3,7 +3,9 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/snap"
+	"repro/internal/stats"
 )
 
 // CBR is a constant-bit-rate sender with an optional ON/OFF duty cycle — the
@@ -71,6 +73,15 @@ func (c *CBR) Metrics() *FlowMetrics { return c.metrics }
 // Sink returns the flow's receiver, to be registered with the link
 // dispatcher.
 func (c *CBR) Sink() Receiver { return c.sink }
+
+// Instrument attaches an observer to the flow's sink, as on Source.
+func (c *CBR) Instrument(o *obs.Observer, run int64) {
+	c.sink.obs = newSinkObs(o, run)
+}
+
+// SetAttribution points the flow's sink at a shared attribution aggregate,
+// as on Source.
+func (c *CBR) SetAttribution(a *stats.Attribution) { c.sink.attrib = a }
 
 func (c *CBR) run() {
 	if c.stopped {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/snap"
 	"repro/internal/stats"
 )
@@ -23,6 +24,12 @@ type FlowMetrics struct {
 	DelayOverTime *stats.WindowedMean
 	// Sent, Received, LossDetected, Timeouts count packets and events.
 	Sent, Received, LossDetected, Timeouts int64
+	// AttribNs[c] is the delivered packets' summed delay attributable to
+	// component c, in nanoseconds — the compact per-flow rollup (full
+	// histograms live in per-cell stats.Attribution aggregates, because a
+	// histogram per flow at 100k-flow metro scale would cost tens of MB).
+	// Integer accumulation keeps the totals executor-independent.
+	AttribNs [stats.NumDelayComps]int64
 }
 
 // NewFlowMetrics returns zeroed metrics for a flow.
@@ -55,6 +62,12 @@ type Sink struct {
 	metrics  *FlowMetrics
 	ackDelay time.Duration
 	src      *Source
+	// attrib, when non-nil, receives each delivered packet's delay
+	// decomposition (the metro harness shares one per home cell).
+	attrib *stats.Attribution
+	// obs, when non-nil, emits per-delivery attribution events and
+	// histograms; nil is the disabled fast path.
+	obs *sinkObs
 }
 
 // Receive implements Receiver.
@@ -62,10 +75,23 @@ func (k *Sink) Receive(p *Packet) {
 	AssertLive(p, "Sink.Receive")
 	now := k.sim.Now()
 	oneWay := now - p.SentAt
+	// Close the packet's final attribution interval; the component sum now
+	// telescopes exactly to oneWay (integer nanoseconds).
+	p.CloseDelay(now)
 	k.metrics.Received++
 	k.metrics.Throughput.Add(now, p.Bytes)
 	k.metrics.Delay.Add(oneWay.Seconds())
 	k.metrics.DelayOverTime.Add(now, oneWay.Seconds())
+	comps := p.DelayComps()
+	for c := 0; c < stats.NumDelayComps; c++ {
+		k.metrics.AttribNs[c] += int64(comps[c])
+	}
+	if k.attrib != nil {
+		k.attrib.Record(comps, oneWay)
+	}
+	if k.obs != nil {
+		k.obs.onAttrib(now, p, comps, oneWay)
+	}
 	if k.src == nil {
 		// CBR flows have no feedback loop: delivery ends the packet's life.
 		k.sim.FreePacket(p)
@@ -196,6 +222,19 @@ func (s *Source) Metrics() *FlowMetrics { return s.metrics }
 // Sink returns the flow's receiver, to be registered with the link
 // dispatcher.
 func (s *Source) Sink() Receiver { return s.sink }
+
+// Instrument attaches an observer to the flow's sink: each delivery emits a
+// net.attrib event carrying the packet's delay decomposition and feeds the
+// per-component delay histograms, labeled by run. Nil leaves the sink on its
+// disabled fast path.
+func (s *Source) Instrument(o *obs.Observer, run int64) {
+	s.sink.obs = newSinkObs(o, run)
+}
+
+// SetAttribution points the flow's sink at a shared attribution aggregate
+// (per home cell in the metro harness). The aggregate must only ever be
+// touched from this sink's timeline.
+func (s *Source) SetAttribution(a *stats.Attribution) { s.sink.attrib = a }
 
 // Receive implements Receiver: the Source is the terminus of the reverse
 // path, consuming the delivered packet as its acknowledgement and releasing
@@ -352,6 +391,7 @@ func (m *FlowMetrics) Snapshot(e *snap.Encoder) {
 	e.I64(m.Received)
 	e.I64(m.LossDetected)
 	e.I64(m.Timeouts)
+	e.I64s(m.AttribNs[:])
 }
 
 // Restore replaces the flow's metrics with a snapshot.
@@ -364,6 +404,16 @@ func (m *FlowMetrics) Restore(d *snap.Decoder) {
 	m.Received = d.I64()
 	m.LossDetected = d.I64()
 	m.Timeouts = d.I64()
+	attrib := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if len(attrib) != stats.NumDelayComps {
+		d.Fail(fmt.Errorf("netsim: flow metrics snapshot has %d attribution components, this build has %d",
+			len(attrib), stats.NumDelayComps))
+		return
+	}
+	copy(m.AttribNs[:], attrib)
 }
 
 // Snapshot implements Snapshotter: sender protocol state, the flow's metrics,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/snap"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -84,6 +85,10 @@ func (c *linkCore) finish(p *Packet) {
 		return
 	}
 	c.Delivered++
+	// Serialization ends here: charge the open interval (queue wait when the
+	// packet cleared in one trace opportunity, serialization otherwise) and
+	// open the propagation interval.
+	p.MarkDelay(c.sim.Now(), stats.DelayPropagate)
 	if c.obs != nil {
 		c.obs.onDeliver(c.sim.Now(), p)
 	}
@@ -182,6 +187,7 @@ func (l *FixedLink) serveNext() {
 	}
 	l.busy = true
 	l.serving = p
+	p.MarkDelay(l.sim.Now(), stats.DelaySerialize)
 	ser := time.Duration(float64(p.Bytes*8) / l.rateBps * float64(time.Second))
 	l.sim.afterTagged(ser, l.servedID, l.servedFn)
 }
@@ -284,7 +290,13 @@ func (l *TraceLink) serve(budget int) {
 		need := head.Bytes - l.headServed
 		if need > budget {
 			// Partial service; the packet completes in a later opportunity
-			// (RLC segmentation).
+			// (RLC segmentation). The first byte served marks the end of
+			// queue wait — serialization now spans opportunities until the
+			// finishing dequeue. A packet fully served within one opportunity
+			// never reaches this branch and charges zero serialization.
+			if l.headServed == 0 {
+				head.MarkDelay(l.sim.Now(), stats.DelaySerialize)
+			}
 			l.headServed += budget
 			return
 		}

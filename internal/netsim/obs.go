@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // linkObs is a link's observability attachment: trace events for the packet
@@ -71,4 +72,49 @@ func (lo *linkObs) onDeliver(now time.Duration, p *Packet) {
 	lo.sojourn.Observe(soj)
 	lo.o.Emit(obs.Event{At: now, Kind: obs.KindNetDeliver, Flow: int32(p.Flow), Run: lo.run,
 		V0: float64(p.Bytes), V1: soj})
+}
+
+// sinkObs is a flow sink's observability attachment: one net.attrib event
+// per delivery carrying the packet's full delay decomposition, plus a
+// per-component delay histogram family in the metrics registry. A nil
+// *sinkObs is the disabled state, guarded at the call site like linkObs.
+type sinkObs struct {
+	o    *obs.Observer
+	run  int64
+	hist [stats.NumDelayComps]*obs.Histogram
+}
+
+// newSinkObs resolves the attribution instruments, labeled by run and
+// component. Returns nil for a nil observer.
+func newSinkObs(o *obs.Observer, run int64) *sinkObs {
+	if o == nil {
+		return nil
+	}
+	so := &sinkObs{o: o, run: run}
+	runLabel := strconv.FormatInt(run, 10)
+	for c := 0; c < stats.NumDelayComps; c++ {
+		name := obs.Labeled("netsim_attrib_seconds", "comp", stats.DelayComp(c).String(), "run", runLabel)
+		so.hist[c] = o.Histogram(name, obs.DelayBuckets)
+	}
+	return so
+}
+
+// onAttrib records one delivery's decomposition: the event's V0..V4 are the
+// component durations in seconds (queue, ser, prop, fault, detour) and V5
+// the measured one-way delay.
+func (so *sinkObs) onAttrib(now time.Duration, p *Packet, comps [stats.NumDelayComps]time.Duration, oneWay time.Duration) {
+	if so == nil {
+		return
+	}
+	for c := 0; c < stats.NumDelayComps; c++ {
+		so.hist[c].Observe(comps[c].Seconds())
+	}
+	so.o.Emit(obs.Event{At: now, Kind: obs.KindNetAttrib, Flow: int32(p.Flow), Run: so.run,
+		V0: comps[stats.DelayQueue].Seconds(),
+		V1: comps[stats.DelaySerialize].Seconds(),
+		V2: comps[stats.DelayPropagate].Seconds(),
+		V3: comps[stats.DelayFaultHold].Seconds(),
+		V4: comps[stats.DelayDetour].Seconds(),
+		V5: oneWay.Seconds(),
+	})
 }

@@ -75,6 +75,7 @@ func (s *Sim) NewPacket(flow int, seq int64, bytes int, sentAt time.Duration, wi
 	p.Bytes = bytes
 	p.SentAt = sentAt
 	p.Window = window
+	p.resetAttrib(sentAt)
 	return p
 }
 
@@ -90,6 +91,9 @@ func (s *Sim) ClonePacket(p *Packet) *Packet {
 	q.Bytes = p.Bytes
 	q.SentAt = p.SentAt
 	q.Window = p.Window
+	q.comps = p.comps
+	q.mark = p.mark
+	q.pend = p.pend
 	return q
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/snap"
+	"repro/internal/stats"
 )
 
 // Packet is the unit of transfer in the simulator. Packets are pooled: sim
@@ -24,6 +25,45 @@ type Packet struct {
 	SentAt time.Duration
 	// Window is the controller's SendTag at transmission time (Verus W_i).
 	Window int
+
+	// Delay attribution (DESIGN.md §16): the lifecycle stamps ride inside the
+	// pooled packet so the decomposition costs no allocation. comps accumulate
+	// closed intervals per component; mark is the open interval's start and
+	// pend the component it will be charged to. NewPacket opens the first
+	// interval at SentAt charged to queue wait; every transition closes the
+	// open interval via MarkDelay; the sink closes the last one. Because each
+	// charge is now-mark in integer nanoseconds and the marks are contiguous,
+	// the component sum telescopes exactly to the measured one-way delay.
+	comps [stats.NumDelayComps]time.Duration
+	mark  time.Duration
+	pend  stats.DelayComp
+}
+
+// MarkDelay closes the packet's open attribution interval at now — charging
+// now-mark to the pending component — and opens a new interval charged to
+// next. Stamp points call it at component transitions; it is pure integer
+// arithmetic with no observability dependency, so it runs unconditionally.
+func (p *Packet) MarkDelay(now time.Duration, next stats.DelayComp) {
+	p.comps[p.pend] += now - p.mark
+	p.mark = now
+	p.pend = next
+}
+
+// CloseDelay closes the open interval at delivery time without opening a new
+// one; after it, DelayComps sums exactly to now-SentAt.
+func (p *Packet) CloseDelay(now time.Duration) {
+	p.comps[p.pend] += now - p.mark
+	p.mark = now
+}
+
+// DelayComps returns the accumulated per-component durations.
+func (p *Packet) DelayComps() [stats.NumDelayComps]time.Duration { return p.comps }
+
+// resetAttrib opens the first attribution interval: queue wait from sentAt.
+func (p *Packet) resetAttrib(sentAt time.Duration) {
+	p.comps = [stats.NumDelayComps]time.Duration{}
+	p.mark = sentAt
+	p.pend = stats.DelayQueue
 }
 
 // Queue is a bottleneck buffer. Enqueue returns false when the packet is

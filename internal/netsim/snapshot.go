@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/snap"
+	"repro/internal/stats"
 )
 
 // Checkpoint/restore for the simulation core (DESIGN.md §15).
@@ -317,7 +318,8 @@ func (s *Sim) RestoreHeap(d *snap.Decoder) {
 	}
 }
 
-// SnapshotPacket writes a packet's wire fields (nil-tolerant).
+// SnapshotPacket writes a packet's wire fields and its in-flight delay
+// attribution state (nil-tolerant).
 func SnapshotPacket(e *snap.Encoder, p *Packet) {
 	if p == nil {
 		e.Bool(false)
@@ -329,6 +331,11 @@ func SnapshotPacket(e *snap.Encoder, p *Packet) {
 	e.Int(p.Bytes)
 	e.Dur(p.SentAt)
 	e.Int(p.Window)
+	for _, c := range p.comps {
+		e.Dur(c)
+	}
+	e.Dur(p.mark)
+	e.U8(uint8(p.pend))
 }
 
 // RestorePacket rematerializes a live packet from its snapshot. It
@@ -349,6 +356,19 @@ func RestorePacket(d *snap.Decoder) *Packet {
 	p.Bytes = d.Int()
 	p.SentAt = d.Dur()
 	p.Window = d.Int()
+	for i := range p.comps {
+		p.comps[i] = d.Dur()
+	}
+	p.mark = d.Dur()
+	pend := d.U8()
+	if d.Err() != nil {
+		return p
+	}
+	if int(pend) >= stats.NumDelayComps {
+		d.Fail(fmt.Errorf("netsim: packet snapshot pending component %d, this build has %d", pend, stats.NumDelayComps))
+		return p
+	}
+	p.pend = stats.DelayComp(pend)
 	p.markLive()
 	return p
 }

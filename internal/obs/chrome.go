@@ -27,6 +27,9 @@ type chromeEvent struct {
 //     window, quota, and delay estimates plot as stacked time series;
 //   - fault.begin/fault.end pairs become "X" (complete) slices spanning the
 //     fault window;
+//   - net.attrib events become per-flow "X" (complete) slices, one per
+//     nonzero delay component, laid end-to-end over the packet's lifetime
+//     [sink-total, sink] so each delivery renders as a stacked delay budget;
 //   - everything else becomes an "i" (instant) marker.
 //
 // Events must be in emission order (as returned by Tracer.Snapshot); fault
@@ -76,6 +79,33 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 			if err := emit(ce); err != nil {
 				return err
+			}
+		case KindNetAttrib:
+			// Reconstruct the packet's lifetime span backward from the sink
+			// time: components are laid end-to-end in enum order, which also
+			// approximates their chronological order on a fault-free path.
+			comps := [...]struct {
+				name string
+				secs float64
+			}{
+				{"queue", e.V0}, {"ser", e.V1}, {"prop", e.V2},
+				{"fault", e.V3}, {"detour", e.V4},
+			}
+			start := ts - e.V5*1e6 // s -> µs
+			for _, c := range comps {
+				if c.secs <= 0 {
+					continue
+				}
+				ce := chromeEvent{
+					Name: "delay " + c.name,
+					Ph:   "X", Ts: start, Dur: c.secs * 1e6,
+					Pid: e.Run, Tid: e.Flow,
+					Args: map[string]float64{"total_ms": e.V5 * 1e3},
+				}
+				if err := emit(ce); err != nil {
+					return err
+				}
+				start += c.secs * 1e6
 			}
 		case KindFaultBegin:
 			open[faultKey{e.Run, e.Flow, e.Str}] = e
@@ -128,9 +158,9 @@ func instant(e Event, ts float64) chromeEvent {
 	if e.Str != "" {
 		name += " " + e.Str
 	}
-	args := make(map[string]float64, 4)
+	args := make(map[string]float64, 6)
 	meta := kindMeta[e.Kind]
-	for i, v := range [4]float64{e.V0, e.V1, e.V2, e.V3} {
+	for i, v := range [6]float64{e.V0, e.V1, e.V2, e.V3, e.V4, e.V5} {
 		if meta.fields[i] != "" {
 			args[meta.fields[i]] = v
 		}

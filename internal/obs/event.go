@@ -63,6 +63,11 @@ const (
 	// KindCheckpointRestore is a run resumed from a snapshot: V0=snapshot
 	// bytes, V1=the restored barrier virtual time (s).
 	KindCheckpointRestore
+	// KindNetAttrib is a delivered packet's one-way delay decomposition at
+	// the sink: V0=queue wait, V1=serialization, V2=propagation, V3=fault
+	// hold, V4=detour (all seconds), V5=the measured one-way delay, which
+	// the first five sum to exactly.
+	KindNetAttrib
 
 	numKinds = iota
 )
@@ -70,24 +75,25 @@ const (
 // kindMeta names each kind and its value slots for the exporters.
 var kindMeta = [numKinds]struct {
 	name   string
-	fields [4]string
+	fields [6]string
 }{
-	KindVerusEpoch:        {"verus.epoch", [4]string{"dmax", "dest", "w", "quota"}},
-	KindVerusState:        {"verus.state", [4]string{"w", "dest", "", ""}},
-	KindVerusRefit:        {"verus.refit", [4]string{"knots", "maxw", "", ""}},
-	KindVerusTimeout:      {"verus.timeout", [4]string{"consec", "sscap", "", ""}},
-	KindVerusTimeoutEpoch: {"verus.timeout_epoch", [4]string{"stale_acks", "", "", ""}},
-	KindVerusRelearn:      {"verus.relearn", [4]string{"relearns", "", "", ""}},
-	KindNetEnqueue:        {"net.enqueue", [4]string{"bytes", "qlen", "qbytes", ""}},
-	KindNetDrop:           {"net.drop", [4]string{"bytes", "", "", ""}},
-	KindNetDeliver:        {"net.deliver", [4]string{"bytes", "sojourn", "", ""}},
-	KindFaultBegin:        {"fault.begin", [4]string{"dur", "drained", "", ""}},
-	KindFaultEnd:          {"fault.end", [4]string{"released", "", "", ""}},
-	KindHandshake:         {"transport.handshake", [4]string{"attempt", "", "", ""}},
-	KindRTO:               {"transport.rto", [4]string{"consec", "rto", "", ""}},
-	KindStall:             {"transport.stall", [4]string{"consec", "", "", ""}},
-	KindCheckpointWrite:   {"ckpt.write", [4]string{"bytes", "n", "barrier", ""}},
-	KindCheckpointRestore: {"ckpt.restore", [4]string{"bytes", "barrier", "", ""}},
+	KindVerusEpoch:        {"verus.epoch", [6]string{"dmax", "dest", "w", "quota"}},
+	KindVerusState:        {"verus.state", [6]string{"w", "dest"}},
+	KindVerusRefit:        {"verus.refit", [6]string{"knots", "maxw"}},
+	KindVerusTimeout:      {"verus.timeout", [6]string{"consec", "sscap"}},
+	KindVerusTimeoutEpoch: {"verus.timeout_epoch", [6]string{"stale_acks"}},
+	KindVerusRelearn:      {"verus.relearn", [6]string{"relearns"}},
+	KindNetEnqueue:        {"net.enqueue", [6]string{"bytes", "qlen", "qbytes"}},
+	KindNetDrop:           {"net.drop", [6]string{"bytes"}},
+	KindNetDeliver:        {"net.deliver", [6]string{"bytes", "sojourn"}},
+	KindFaultBegin:        {"fault.begin", [6]string{"dur", "drained"}},
+	KindFaultEnd:          {"fault.end", [6]string{"released"}},
+	KindHandshake:         {"transport.handshake", [6]string{"attempt"}},
+	KindRTO:               {"transport.rto", [6]string{"consec", "rto"}},
+	KindStall:             {"transport.stall", [6]string{"consec"}},
+	KindCheckpointWrite:   {"ckpt.write", [6]string{"bytes", "n", "barrier"}},
+	KindCheckpointRestore: {"ckpt.restore", [6]string{"bytes", "barrier"}},
+	KindNetAttrib:         {"net.attrib", [6]string{"queue", "ser", "prop", "fault", "detour", "total"}},
 }
 
 // kindByName inverts kindMeta for the JSONL parser.
@@ -122,7 +128,7 @@ func KindByName(name string) (Kind, bool) {
 // since transport start on the real-UDP path. Seq is the tracer-assigned
 // emission sequence (a total order even when At ties). Run labels the trial
 // (harnesses pass the derived per-trial seed) and Flow the flow index. Str
-// and V0..V3 are kind-specific; see the Kind constants.
+// and V0..V5 are kind-specific; see the Kind constants.
 type Event struct {
 	At   time.Duration
 	Seq  uint64
@@ -134,4 +140,6 @@ type Event struct {
 	V1   float64
 	V2   float64
 	V3   float64
+	V4   float64
+	V5   float64
 }

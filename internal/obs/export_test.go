@@ -54,7 +54,7 @@ func TestReadJSONLStrict(t *testing.T) {
 		{"garbage", "not json\n"},
 		{"unknown kind", `{"seq":0,"at_ns":0,"kind":"bogus.kind","flow":0,"run":1}` + "\n"},
 		{"unknown field", `{"seq":0,"at_ns":0,"kind":"verus.epoch","flow":0,"run":1,"extra":true}` + "\n"},
-		{"too many values", `{"seq":0,"at_ns":0,"kind":"verus.epoch","flow":0,"run":1,"v":[1,2,3,4,5]}` + "\n"},
+		{"too many values", `{"seq":0,"at_ns":0,"kind":"verus.epoch","flow":0,"run":1,"v":[1,2,3,4,5,6,7]}` + "\n"},
 	}
 	for _, tc := range cases {
 		if _, err := ReadJSONL(strings.NewReader(tc.in)); err == nil {

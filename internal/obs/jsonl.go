@@ -38,8 +38,8 @@ func WriteJSONL(w io.Writer, events []Event) error {
 			Run:  e.Run,
 			Str:  e.Str,
 		}
-		v := [4]float64{e.V0, e.V1, e.V2, e.V3}
-		n := 4
+		v := [6]float64{e.V0, e.V1, e.V2, e.V3, e.V4, e.V5}
+		n := 6
 		for n > 0 && v[n-1] == 0 {
 			n--
 		}
@@ -77,8 +77,8 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if !ok {
 			return nil, fmt.Errorf("obs: jsonl line %d: unknown event kind %q", line, je.Kind)
 		}
-		if len(je.V) > 4 {
-			return nil, fmt.Errorf("obs: jsonl line %d: %d value slots (max 4)", line, len(je.V))
+		if len(je.V) > 6 {
+			return nil, fmt.Errorf("obs: jsonl line %d: %d value slots (max 6)", line, len(je.V))
 		}
 		e := Event{
 			At:   time.Duration(je.AtNs),
@@ -88,9 +88,10 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			Run:  je.Run,
 			Str:  je.Str,
 		}
-		var v [4]float64
+		var v [6]float64
 		copy(v[:], je.V)
 		e.V0, e.V1, e.V2, e.V3 = v[0], v[1], v[2], v[3]
+		e.V4, e.V5 = v[4], v[5]
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {

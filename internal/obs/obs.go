@@ -100,6 +100,17 @@ func (o *Observer) RegisterCounter(name string, c *Counter) {
 	o.metrics.RegisterCounter(name, c)
 }
 
+// SyncTraceDropped publishes the tracer's ring-overflow count into the
+// metrics registry as the counter obs_trace_dropped_total, so a Prometheus
+// scrape shows whether the exported trace is complete. Call it once, right
+// before exporting the registry; it is a no-op when either half is disabled.
+func (o *Observer) SyncTraceDropped() {
+	if o == nil || o.tracer == nil || o.metrics == nil {
+		return
+	}
+	o.metrics.Counter("obs_trace_dropped_total").Restore(int64(o.tracer.Dropped()))
+}
+
 // Observable is implemented by components that can attach themselves to an
 // Observer — controllers, links, transports. run labels the trial (the
 // harness passes the derived per-trial seed) and flow the flow index, so

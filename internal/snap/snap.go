@@ -42,7 +42,9 @@ const Magic = "VSNP"
 // Version is the current snapshot format version. Bump it whenever the
 // payload layout of any component changes; Decode rejects every other
 // version, so a stale checkpoint can never be half-applied to new code.
-const Version uint32 = 1
+// Version 2: packets and flow metrics carry delay-attribution state, and
+// metro trials carry per-cell attribution aggregates.
+const Version uint32 = 2
 
 // ErrTruncated reports a payload that ended mid-value.
 var ErrTruncated = errors.New("snap: truncated snapshot")

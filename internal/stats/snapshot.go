@@ -90,3 +90,61 @@ func (s *WindowedMean) Restore(d *snap.Decoder) {
 	s.sums = append(s.sums[:0], sums...)
 	s.counts = append(s.counts[:0], counts...)
 }
+
+// Snapshot writes the attribution aggregate: component sums, the identity
+// ledger, and every histogram bucket — all integers, so the restore is
+// bit-exact by construction.
+func (a *Attribution) Snapshot(e *snap.Encoder) {
+	e.Tag("attrib")
+	e.I64s(a.CompNs[:])
+	e.I64(a.TotalNs)
+	e.I64(a.Count)
+	e.I64(a.Violations)
+	e.I64(a.Negatives)
+	for c := range a.buckets {
+		e.I64s(a.buckets[c][:])
+	}
+	e.I64s(a.totBuckets[:])
+}
+
+// Restore replaces the aggregate's state with a snapshot.
+func (a *Attribution) Restore(d *snap.Decoder) {
+	d.Expect("attrib")
+	comps := d.I64s()
+	totalNs := d.I64()
+	count := d.I64()
+	violations := d.I64()
+	negatives := d.I64()
+	if d.Err() != nil {
+		return
+	}
+	if len(comps) != NumDelayComps {
+		d.Fail(fmt.Errorf("stats: attribution snapshot has %d components, this build has %d", len(comps), NumDelayComps))
+		return
+	}
+	copy(a.CompNs[:], comps)
+	a.TotalNs = totalNs
+	a.Count = count
+	a.Violations = violations
+	a.Negatives = negatives
+	for c := range a.buckets {
+		b := d.I64s()
+		if d.Err() != nil {
+			return
+		}
+		if len(b) != len(a.buckets[c]) {
+			d.Fail(fmt.Errorf("stats: attribution snapshot bucket row has %d cells, this build has %d", len(b), len(a.buckets[c])))
+			return
+		}
+		copy(a.buckets[c][:], b)
+	}
+	tb := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if len(tb) != len(a.totBuckets) {
+		d.Fail(fmt.Errorf("stats: attribution snapshot total row has %d cells, this build has %d", len(tb), len(a.totBuckets)))
+		return
+	}
+	copy(a.totBuckets[:], tb)
+}
